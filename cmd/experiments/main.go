@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's tables and figures (and
+// this reproduction's ablations and extensions). Each experiment prints
+// the same rows/series the paper reports, as aligned tables or CSV.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -exp fig5
+//	experiments -exp fig11,fig12 -scale 0.25
+//	experiments -all -scale 0.1 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"raidsim/internal/exp"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		ids    = flag.String("exp", "", "comma-separated experiment ids to run")
+		all    = flag.Bool("all", false, "run every experiment")
+		scale  = flag.Float64("scale", 0.1, "trace scale (1.0 = the paper's full request counts)")
+		traces = flag.String("traces", "trace1,trace2", "workloads to evaluate")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot   = flag.Bool("plot", false, "draw figures as ASCII charts above their tables")
+		outDir = flag.String("out", "", "write each experiment's output to <dir>/<id>.txt instead of stdout")
+		quiet  = flag.Bool("quiet", false, "suppress progress messages on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []exp.Experiment
+	switch {
+	case *all:
+		todo = exp.All()
+	case *ids != "":
+		for _, id := range strings.Split(*ids, ",") {
+			e, err := exp.Get(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			todo = append(todo, e)
+		}
+	default:
+		fatal(fmt.Errorf("nothing to do: pass -list, -exp <ids> or -all"))
+	}
+
+	mkCtx := func(out *os.File) *exp.Context {
+		return exp.NewContext(exp.Options{
+			Scale:  *scale,
+			Traces: strings.Split(*traces, ","),
+			Seed:   *seed,
+			Out:    out,
+			CSV:    *csv,
+			Plot:   *plot,
+		})
+	}
+	var ctx *exp.Context
+	if *outDir == "" {
+		ctx = mkCtx(os.Stdout)
+	} else if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, e := range todo {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
+		}
+		t0 := time.Now()
+		run := ctx
+		var f *os.File
+		if *outDir != "" {
+			ext := ".txt"
+			if *csv {
+				ext = ".csv"
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+ext))
+			if err != nil {
+				fatal(err)
+			}
+			run = mkCtx(f)
+		}
+		if err := e.Run(run); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "   done in %v\n", time.Since(t0).Round(time.Millisecond))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,199 @@
+// Command raidsim runs one disk array simulation and prints its results:
+// response-time statistics, hit ratios, and per-disk utilization. The
+// workload comes from a trace file (text or binary, see cmd/tracegen) or
+// from a built-in synthetic profile.
+//
+// Examples:
+//
+//	raidsim -profile trace2 -org raid5 -n 10
+//	raidsim -profile trace1 -scale 0.05 -org raid4 -cached -cache-mb 32
+//	raidsim -trace t.bin -org pstripe -placement end -sync rfpr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/disk"
+	"raidsim/internal/geom"
+	"raidsim/internal/layout"
+	"raidsim/internal/report"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+	"raidsim/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to replay (text or binary); empty = use -profile")
+		profile   = flag.String("profile", "trace2", "built-in workload: trace1 or trace2")
+		scale     = flag.Float64("scale", 0.1, "scale factor for the built-in workload")
+		speed     = flag.Float64("speed", 1, "trace speed factor (2 = twice the load)")
+		orgName   = flag.String("org", "raid5", "organization: base, mirror, raid5, raid4, pstripe")
+		n         = flag.Int("n", 10, "data disks per array (N)")
+		su        = flag.Int("su", 1, "striping unit in blocks (RAID5/RAID4)")
+		syncName  = flag.String("sync", "df", "parity sync policy: si, rf, rfpr, df, dfpr")
+		placement = flag.String("placement", "middle", "parity striping placement: middle or end")
+		punit     = flag.Int64("parity-unit", 0, "fine-grained parity striping unit (0 = classic)")
+		cached    = flag.Bool("cached", false, "enable the non-volatile controller cache")
+		cacheMB   = flag.Int("cache-mb", 16, "cache size per array, MB")
+		destage   = flag.Float64("destage-sec", 1, "destage period, seconds")
+		pureLRU   = flag.Bool("pure-lru", false, "write back only on eviction (no periodic destage)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		perDisk   = flag.Bool("per-disk", false, "print per-disk access counts and utilization")
+		sched     = flag.String("sched", "fifo", "drive queue discipline: fifo, sstf, look")
+		spindles  = flag.Bool("sync-spindles", false, "synchronize spindle rotation across drives")
+		mpl       = flag.Int("mpl", 0, "closed-loop mode: keep this many requests outstanding per array (0 = replay trace timing)")
+		thinkMS   = flag.Float64("think-ms", 0, "closed-loop think time between completion and next request")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *profile, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *speed != 1 {
+		tr = tr.Scale(*speed)
+	}
+
+	org, err := array.ParseOrg(*orgName)
+	if err != nil {
+		fatal(err)
+	}
+	syn, err := array.ParseSyncPolicy(*syncName)
+	if err != nil {
+		fatal(err)
+	}
+	pl := layout.MiddlePlacement
+	if strings.EqualFold(*placement, "end") {
+		pl = layout.EndPlacement
+	}
+	sd, err := disk.ParseSched(*sched)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{
+		Org:              org,
+		DataDisks:        tr.NumDisks,
+		N:                *n,
+		Spec:             geom.Default(),
+		StripingUnit:     *su,
+		Placement:        pl,
+		ParityStripeUnit: *punit,
+		Sync:             syn,
+		Cached:           *cached,
+		CacheMB:          *cacheMB,
+		DestagePeriod:    sim.Time(*destage * float64(sim.Second)),
+		PureLRUWriteback: *pureLRU,
+		DiskSched:        sd,
+		SyncSpindles:     *spindles,
+		Seed:             *seed,
+	}
+	if *mpl > 0 {
+		res, err := core.RunClosedLoop(cfg, tr, core.ClosedLoopConfig{
+			MPL:       *mpl,
+			ThinkTime: sim.Time(*thinkMS * float64(sim.Millisecond)),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printResults(cfg, tr, &res.Results, *perDisk)
+		fmt.Printf("closed loop: MPL=%d throughput %.1f req/s (makespan %.1fs)\n",
+			*mpl, res.Throughput(), float64(res.Makespan)/float64(sim.Second))
+		return
+	}
+	res, err := core.Run(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+	printResults(cfg, tr, res, *perDisk)
+}
+
+func loadTrace(path, profile string, scale float64) (*trace.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var magic [6]byte
+		if _, err := f.ReadAt(magic[:], 0); err == nil && string(magic[:5]) == "RSTB1" {
+			return trace.ReadBinary(f)
+		}
+		return trace.ReadText(f)
+	}
+	var p workload.Profile
+	switch profile {
+	case "trace1":
+		p = workload.Trace1Profile()
+	case "trace2":
+		p = workload.Trace2Profile()
+	default:
+		return nil, fmt.Errorf("unknown profile %q (want trace1 or trace2)", profile)
+	}
+	return workload.Generate(p.Scaled(scale))
+}
+
+func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk bool) {
+	t := &report.Table{
+		Title:   fmt.Sprintf("raidsim: %s, N=%d, %d arrays, %d drives, trace %s (%d requests)", cfg.Org, cfg.N, res.Arrays, cfg.PhysicalDisks(), tr.Name, res.Requests),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("mean response (ms)", fmt.Sprintf("%.3f", res.Resp.Mean()))
+	t.AddRow("read response (ms)", fmt.Sprintf("%.3f", res.ReadResp.Mean()))
+	t.AddRow("write response (ms)", fmt.Sprintf("%.3f", res.WriteResp.Mean()))
+	t.AddRow("p50 response (ms)", fmt.Sprintf("%.3f", res.Resp.Quantile(0.5)))
+	t.AddRow("p95 response (ms)", fmt.Sprintf("%.3f", res.Resp.Quantile(0.95)))
+	t.AddRow("p99 response (ms)", fmt.Sprintf("%.3f", res.Resp.Quantile(0.99)))
+	t.AddRow("max response (ms)", fmt.Sprintf("%.3f", res.Resp.Max()))
+	if cfg.Cached {
+		t.AddRow("read hit ratio", fmt.Sprintf("%.4f", res.ReadHitRatio()))
+		t.AddRow("write hit ratio", fmt.Sprintf("%.4f", res.WriteHitRatio()))
+		t.AddRow("destages", fmt.Sprintf("%d", res.Cache.Destages))
+		t.AddRow("dirty evictions", fmt.Sprintf("%d", res.Cache.DirtyEvictions))
+		if cfg.Org == array.OrgRAID4 {
+			t.AddRow("parity queued", fmt.Sprintf("%d", res.Cache.ParityQueued))
+			t.AddRow("parity stalls", fmt.Sprintf("%d", res.Cache.ParityStalls))
+			t.AddRow("peak parity in cache", fmt.Sprintf("%d", res.Cache.PeakParity))
+		}
+	}
+	t.AddRow("mean seek distance (cyl)", fmt.Sprintf("%.1f", res.SeekDistMean))
+	t.AddRow("held rotations", fmt.Sprintf("%d", res.HeldRotations))
+	t.AddRow("parity accesses", fmt.Sprintf("%d", res.ParityAccesses))
+	t.AddRow("events simulated", fmt.Sprintf("%d", res.Events))
+	var usum, umax float64
+	for _, u := range res.DiskUtil {
+		usum += u
+		if u > umax {
+			umax = u
+		}
+	}
+	t.AddRow("mean disk utilization", fmt.Sprintf("%.4f", usum/float64(len(res.DiskUtil))))
+	t.AddRow("max disk utilization", fmt.Sprintf("%.4f", umax))
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if perDisk {
+		d := &report.Table{
+			Title:   "per-disk activity",
+			Columns: []string{"disk", "accesses", "utilization"},
+		}
+		for i := range res.DiskAccesses {
+			d.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", res.DiskAccesses[i]), fmt.Sprintf("%.4f", res.DiskUtil[i]))
+		}
+		if err := d.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "raidsim:", err)
+	os.Exit(1)
+}

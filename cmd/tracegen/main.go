@@ -1,0 +1,95 @@
+// Command tracegen synthesizes an OLTP I/O trace from a built-in profile
+// (optionally customized by flags) and writes it in the text or binary
+// format that cmd/raidsim and cmd/tracestat consume.
+//
+// Examples:
+//
+//	tracegen -profile trace2 -o trace2.txt
+//	tracegen -profile trace1 -scale 0.1 -format bin -o t1.bin
+//	tracegen -profile trace2 -write-frac 0.5 -disk-zipf 1.2 -o hot.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"raidsim/internal/trace"
+	"raidsim/internal/workload"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "trace2", "base profile: trace1 or trace2")
+		scale     = flag.Float64("scale", 1.0, "scale requests and duration (rate preserved)")
+		out       = flag.String("o", "-", "output path, - for stdout")
+		format    = flag.String("format", "text", "output format: text or bin")
+		seed      = flag.Uint64("seed", 0, "override the profile seed (0 = keep)")
+		writeFrac = flag.Float64("write-frac", -1, "override write fraction (-1 = keep)")
+		diskZipf  = flag.Float64("disk-zipf", -1, "override disk Zipf skew (-1 = keep)")
+		requests  = flag.Int("requests", 0, "override request count (0 = keep)")
+		disks     = flag.Int("disks", 0, "override number of logical disks (0 = keep)")
+		stats     = flag.Bool("stats", false, "also print Table 2 statistics to stderr")
+	)
+	flag.Parse()
+
+	var p workload.Profile
+	switch *profile {
+	case "trace1":
+		p = workload.Trace1Profile()
+	case "trace2":
+		p = workload.Trace2Profile()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	p = p.Scaled(*scale)
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *writeFrac >= 0 {
+		p.WriteFraction = *writeFrac
+	}
+	if *diskZipf >= 0 {
+		p.DiskZipfTheta = *diskZipf
+	}
+	if *requests > 0 {
+		p.Requests = *requests
+	}
+	if *disks > 0 {
+		p.NumDisks = *disks
+	}
+
+	tr, err := workload.Generate(p)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, trace.Characterize(tr))
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		err = trace.WriteText(w, tr)
+	case "bin":
+		err = trace.WriteBinary(w, tr)
+	default:
+		err = fmt.Errorf("unknown format %q (want text or bin)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

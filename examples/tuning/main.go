@@ -1,0 +1,102 @@
+// Tuning: pick the striping unit and cache size for a RAID5 array under
+// your workload. Reproduces the reasoning of sections 4.2.2 and 4.3 as an
+// interactive-style sweep: fine striping balances load, coarse striping
+// preserves seek affinity and saves arms on multiblock requests; cache
+// absorbs the write penalty and shifts the optimum coarser.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/geom"
+	"raidsim/internal/report"
+	"raidsim/internal/workload"
+)
+
+func main() {
+	prof := workload.Trace2Profile().Scaled(0.4)
+	tr, err := workload.Generate(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := core.Config{
+		Org: array.OrgRAID5, DataDisks: prof.NumDisks, N: 10,
+		Spec: geom.Default(), Sync: array.DF, Seed: 1,
+	}
+
+	// Sweep 1: striping unit, non-cached and cached.
+	sus := []int{1, 2, 4, 8, 16, 32, 64}
+	fig := &report.Figure{
+		Title:  "RAID5 striping unit sweep",
+		XLabel: "striping unit (blocks)",
+		YLabel: "response time (ms)",
+	}
+	for _, su := range sus {
+		fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", su))
+	}
+	for _, cached := range []bool{false, true} {
+		name := "non-cached"
+		if cached {
+			name = "cached-16MB"
+		}
+		vals := make([]float64, 0, len(sus))
+		bestSU, bestMS := 0, math.Inf(1)
+		for _, su := range sus {
+			cfg := base
+			cfg.StripingUnit = su
+			cfg.Cached = cached
+			cfg.CacheMB = 16
+			res, err := core.Run(cfg, tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms := res.MeanResponseMS()
+			vals = append(vals, ms)
+			if ms < bestMS {
+				bestMS, bestSU = ms, su
+			}
+		}
+		fig.Add(name, vals...)
+		fig.AddNote("%s optimum: %d blocks (%.2f ms)", name, bestSU, bestMS)
+	}
+	if err := fig.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep 2: cache size at the default striping unit.
+	sizes := []int{4, 8, 16, 32, 64, 128}
+	cfig := &report.Figure{
+		Title:  "RAID5 cache size sweep (striping unit 1)",
+		XLabel: "cache (MB/array)",
+		YLabel: "value",
+	}
+	for _, mb := range sizes {
+		cfig.XTicks = append(cfig.XTicks, fmt.Sprintf("%d", mb))
+	}
+	var resp, rhit []float64
+	for _, mb := range sizes {
+		cfg := base
+		cfg.Cached = true
+		cfg.CacheMB = mb
+		res, err := core.Run(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp = append(resp, res.MeanResponseMS())
+		rhit = append(rhit, res.ReadHitRatio()*100)
+	}
+	cfig.Add("resp (ms)", resp...)
+	cfig.Add("read hit %", rhit...)
+	if err := cfig.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Reading the sweeps: on a skewed OLTP load keep the striping unit")
+	fmt.Println("small; grow the cache until the read-hit curve flattens — the")
+	fmt.Println("write penalty is already gone at modest sizes.")
+}

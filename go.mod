@@ -1,0 +1,3 @@
+module raidsim
+
+go 1.22

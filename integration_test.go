@@ -1,0 +1,162 @@
+// Package raidsim_test holds cross-module integration tests: the full
+// pipeline from synthetic trace generation through file round-trips to
+// multi-array simulation, exercising the same paths the command-line
+// tools use.
+package raidsim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/geom"
+	"raidsim/internal/layout"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+	"raidsim/internal/workload"
+)
+
+func smallProfile() workload.Profile {
+	p := workload.Trace2Profile()
+	p.Requests = 6000
+	p.Duration = 300 * sim.Second
+	return p
+}
+
+// TestPipelineGenerateEncodeSimulate drives generate -> binary file ->
+// decode -> simulate, and checks the decoded trace behaves identically to
+// the in-memory one.
+func TestPipelineGenerateEncodeSimulate(t *testing.T) {
+	tr, err := workload.Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.Config{
+		Org: array.OrgRAID5, DataDisks: 10, N: 10,
+		Spec: geom.Default(), Sync: array.DF, Seed: 3,
+	}
+	direct, err := core.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundtrip, err := core.Run(cfg, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Resp.Mean() != roundtrip.Resp.Mean() || direct.Events != roundtrip.Events {
+		t.Fatalf("file round-trip changed simulation: %f/%d vs %f/%d",
+			direct.Resp.Mean(), direct.Events, roundtrip.Resp.Mean(), roundtrip.Events)
+	}
+}
+
+// TestEveryOrganizationEndToEnd runs each organization, cached and not,
+// against the same workload and checks structural sanity of the results.
+func TestEveryOrganizationEndToEnd(t *testing.T) {
+	tr, err := workload.Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type c struct {
+		org    array.Org
+		cached bool
+	}
+	cases := []c{
+		{array.OrgBase, false}, {array.OrgBase, true},
+		{array.OrgMirror, false}, {array.OrgMirror, true},
+		{array.OrgRAID5, false}, {array.OrgRAID5, true},
+		{array.OrgParityStriping, false}, {array.OrgParityStriping, true},
+		{array.OrgRAID4, true},
+	}
+	for _, tc := range cases {
+		cfg := core.Config{
+			Org: tc.org, DataDisks: 10, N: 5,
+			Spec: geom.Default(), Sync: array.DFPR,
+			Cached: tc.cached, CacheMB: 8, Seed: 4,
+			Placement: layout.EndPlacement,
+		}
+		res, err := core.Run(cfg, tr)
+		if err != nil {
+			t.Errorf("%v cached=%v: %v", tc.org, tc.cached, err)
+			continue
+		}
+		if res.Requests != int64(len(tr.Records)) {
+			t.Errorf("%v cached=%v: lost requests %d/%d", tc.org, tc.cached, res.Requests, len(tr.Records))
+		}
+		if res.Resp.Mean() <= 0 {
+			t.Errorf("%v cached=%v: zero response time", tc.org, tc.cached)
+		}
+		wantDisks := map[array.Org]int{
+			array.OrgBase:           10,
+			array.OrgMirror:         20,
+			array.OrgRAID5:          12,
+			array.OrgRAID4:          12,
+			array.OrgParityStriping: 12,
+		}[tc.org]
+		if len(res.DiskUtil) != wantDisks {
+			t.Errorf("%v: %d disks, want %d", tc.org, len(res.DiskUtil), wantDisks)
+		}
+	}
+}
+
+// TestTraceSpeedMonotonicity: doubling the load must not improve response
+// time; halving it must not hurt, for every organization.
+func TestTraceSpeedMonotonicity(t *testing.T) {
+	tr, err := workload.Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, org := range []array.Org{array.OrgBase, array.OrgRAID5} {
+		var means []float64
+		for _, speed := range []float64{0.5, 1, 2} {
+			cfg := core.Config{
+				Org: org, DataDisks: 10, N: 10,
+				Spec: geom.Default(), Sync: array.DF, Seed: 5,
+			}
+			res, err := core.Run(cfg, tr.Scale(speed))
+			if err != nil {
+				t.Fatalf("%v @%g: %v", org, speed, err)
+			}
+			means = append(means, res.Resp.Mean())
+		}
+		if !(means[0] <= means[1]*1.05 && means[1] <= means[2]*1.05) {
+			t.Errorf("%v: response not monotone in load: %v", org, means)
+		}
+	}
+}
+
+// TestStripingUnitExtremesApproachKnownShapes: an enormous striping unit
+// makes RAID5 behave like unstriped data + parity, so its balancing edge
+// over a 1-block unit should vanish on the skewed trace (Figure 8's
+// right-hand side rising toward Parity Striping).
+func TestStripingUnitExtremes(t *testing.T) {
+	tr, err := workload.Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(su int) float64 {
+		cfg := core.Config{
+			Org: array.OrgRAID5, DataDisks: 10, N: 10,
+			Spec: geom.Default(), Sync: array.DF, StripingUnit: su, Seed: 6,
+		}
+		res, err := core.Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("su=%d: %v", su, err)
+		}
+		return res.Resp.Mean()
+	}
+	fine, coarse := mean(1), mean(4096)
+	if fine >= coarse {
+		// Trace 2 is skew-dominated: fine striping must win.
+		t.Errorf("striping unit 1 (%.2f ms) should beat 4096 (%.2f ms) on the skewed trace", fine, coarse)
+	}
+}

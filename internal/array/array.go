@@ -1,0 +1,461 @@
+// Package array implements the disk array controllers the paper compares:
+// Base (independent disks), Mirror, RAID5, Parity Striping and RAID4, each
+// in non-cached and cached variants. A controller owns an array's disks,
+// its channel and track buffers, and (when configured) its non-volatile
+// cache with the periodic destage process; it turns logical I/O requests
+// into physical disk accesses, including the read-modify-write parity
+// updates and their data/parity synchronization policies.
+package array
+
+import (
+	"fmt"
+
+	"raidsim/internal/bus"
+	"raidsim/internal/cache"
+	"raidsim/internal/disk"
+	"raidsim/internal/geom"
+	"raidsim/internal/layout"
+	"raidsim/internal/rng"
+	"raidsim/internal/sim"
+	"raidsim/internal/stats"
+	"raidsim/internal/trace"
+)
+
+// Org selects the array organization.
+type Org int
+
+// Organizations under study (Table 3 of the paper), plus the RAID0 and
+// RAID3 comparators from the related work (Chen et al.).
+const (
+	OrgBase Org = iota
+	OrgMirror
+	OrgRAID5
+	OrgRAID4
+	OrgParityStriping
+	OrgRAID0
+	OrgRAID3
+	OrgParityLog
+)
+
+func (o Org) String() string {
+	switch o {
+	case OrgBase:
+		return "base"
+	case OrgMirror:
+		return "mirror"
+	case OrgRAID5:
+		return "raid5"
+	case OrgRAID4:
+		return "raid4"
+	case OrgParityStriping:
+		return "pstripe"
+	case OrgRAID0:
+		return "raid0"
+	case OrgRAID3:
+		return "raid3"
+	case OrgParityLog:
+		return "plog"
+	}
+	return fmt.Sprintf("org(%d)", int(o))
+}
+
+// ParseOrg converts a name to an Org.
+func ParseOrg(s string) (Org, error) {
+	switch s {
+	case "base":
+		return OrgBase, nil
+	case "mirror":
+		return OrgMirror, nil
+	case "raid5":
+		return OrgRAID5, nil
+	case "raid4":
+		return OrgRAID4, nil
+	case "pstripe", "paritystriping", "parity-striping":
+		return OrgParityStriping, nil
+	case "raid0":
+		return OrgRAID0, nil
+	case "raid3":
+		return OrgRAID3, nil
+	case "plog", "paritylog", "parity-logging":
+		return OrgParityLog, nil
+	}
+	return 0, fmt.Errorf("array: unknown organization %q", s)
+}
+
+// SyncPolicy selects how a parity update is synchronized with its data
+// update (section 3.3 of the paper).
+type SyncPolicy int
+
+// The five policies of Figure 4.
+const (
+	// SI issues the parity access at the same time as the data access;
+	// the parity disk holds full rotations until the old data is read.
+	SI SyncPolicy = iota
+	// RF waits for the old data to be read before issuing the parity
+	// access.
+	RF
+	// RFPR is RF with the parity access given queue priority.
+	RFPR
+	// DF issues the parity access when the data access acquires its disk.
+	DF
+	// DFPR is DF with the parity access given queue priority.
+	DFPR
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SI:
+		return "SI"
+	case RF:
+		return "RF"
+	case RFPR:
+		return "RF/PR"
+	case DF:
+		return "DF"
+	case DFPR:
+		return "DF/PR"
+	}
+	return fmt.Sprintf("sync(%d)", int(p))
+}
+
+// ParseSyncPolicy converts a name to a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "SI", "si":
+		return SI, nil
+	case "RF", "rf":
+		return RF, nil
+	case "RF/PR", "rfpr", "rf/pr":
+		return RFPR, nil
+	case "DF", "df":
+		return DF, nil
+	case "DF/PR", "dfpr", "df/pr":
+		return DFPR, nil
+	}
+	return 0, fmt.Errorf("array: unknown sync policy %q", s)
+}
+
+func (p SyncPolicy) priority() bool  { return p == RFPR || p == DFPR }
+func (p SyncPolicy) diskFirst() bool { return p == DF || p == DFPR }
+
+// Config describes one array.
+type Config struct {
+	Org  Org
+	N    int // data-disk equivalents; see Org for the physical disk count
+	Spec geom.Spec
+	Seek geom.SeekModel
+
+	StripingUnit     int              // RAID5/RAID4, in blocks (default 1)
+	Placement        layout.Placement // parity striping placement
+	ParityStripeUnit int64            // fine-grained parity striping; 0 = classic
+	Sync             SyncPolicy       // parity/data synchronization policy
+
+	Cached           bool
+	CacheBlocks      int      // capacity of the NV cache in blocks
+	DestagePeriod    sim.Time // periodic destage interval (default 1s)
+	PureLRUWriteback bool     // ablation: write back only on eviction
+
+	// Warmup excludes requests arriving before this time from the
+	// response statistics (they are still simulated — the point is to
+	// measure steady state, e.g. after the cache fills).
+	Warmup sim.Time
+
+	BuffersPerDisk int // track buffers per disk (default 5)
+	// DiskSched selects the drives' queue discipline within a priority
+	// class. The paper's model is FIFO (the default); SSTF and LOOK are
+	// extensions.
+	DiskSched disk.Sched
+	// SyncSpindles, when set, gives every drive the same rotational
+	// phase (the paper assumes *no* spindle synchronization; the flag
+	// exists for the ablation).
+	SyncSpindles bool
+	Seed         uint64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.N < 2 {
+		return fmt.Errorf("array: N must be >= 2, got %d", c.N)
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Seek == (geom.SeekModel{}) {
+		m, err := geom.CalibrateSeek(c.Spec)
+		if err != nil {
+			return err
+		}
+		c.Seek = m
+	}
+	if c.StripingUnit <= 0 {
+		c.StripingUnit = 1
+	}
+	if c.BuffersPerDisk <= 0 {
+		c.BuffersPerDisk = 5
+	}
+	if c.DestagePeriod <= 0 {
+		c.DestagePeriod = sim.Second
+	}
+	if c.Cached && c.CacheBlocks <= 0 {
+		c.CacheBlocks = 16 << 20 / c.Spec.BlockBytes // 16 MB default
+	}
+	return nil
+}
+
+// Request is one logical I/O against the array's data space.
+type Request struct {
+	Op     trace.Op
+	LBA    int64
+	Blocks int
+	// OnComplete, when non-nil, fires when the request's response
+	// completes. Closed-loop drivers hook it to keep a fixed number of
+	// requests outstanding.
+	OnComplete func()
+}
+
+// Results aggregates what an array simulation measured.
+type Results struct {
+	Org       Org
+	Requests  int64
+	Resp      stats.Summary // ms, all requests
+	ReadResp  stats.Summary
+	WriteResp stats.Summary
+
+	// Per-request cache accounting (multiblock counts as a hit only if
+	// every block hit, as in the paper).
+	ReadHits, ReadMisses   int64
+	WriteHits, WriteMisses int64
+
+	DiskAccesses   []int64
+	DiskUtil       []float64
+	SeekDistMean   float64
+	HeldRotations  int64
+	Cache          cache.Stats
+	ParityAccesses int64 // disk accesses that targeted parity blocks
+}
+
+// ReadHitRatio returns read hits / read requests.
+func (r *Results) ReadHitRatio() float64 {
+	n := r.ReadHits + r.ReadMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(r.ReadHits) / float64(n)
+}
+
+// WriteHitRatio returns write hits / write requests.
+func (r *Results) WriteHitRatio() float64 {
+	n := r.WriteHits + r.WriteMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(r.WriteHits) / float64(n)
+}
+
+// Controller is a simulated array controller.
+type Controller interface {
+	// Submit presents a request at the current simulation time. The LBA
+	// span must lie within [0, DataBlocks()).
+	Submit(r Request)
+	// DataBlocks returns the array's logical capacity in blocks.
+	DataBlocks() int64
+	// Drained reports whether no request is still in flight.
+	Drained() bool
+	// Results snapshots statistics; call after the engine has drained.
+	Results() *Results
+}
+
+// New builds the controller the config describes.
+func New(eng *sim.Engine, cfg Config) (Controller, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	bpd := cfg.Spec.BlocksPerDisk()
+	switch cfg.Org {
+	case OrgBase:
+		lay := layout.NewBase(cfg.N, bpd)
+		c := newCommon(eng, cfg, lay.Disks())
+		if cfg.Cached {
+			return newCachedPlain(c, lay, nil), nil
+		}
+		return &baseCtrl{common: c, lay: lay, org: OrgBase}, nil
+	case OrgRAID0:
+		lay := layout.NewRAID0(cfg.N, bpd, cfg.StripingUnit)
+		c := newCommon(eng, cfg, lay.Disks())
+		if cfg.Cached {
+			cp := newCachedPlain(c, lay, nil)
+			cp.org = OrgRAID0
+			return cp, nil
+		}
+		return &baseCtrl{common: c, lay: lay, org: OrgRAID0}, nil
+	case OrgRAID3:
+		if cfg.Cached {
+			return nil, fmt.Errorf("array: the RAID3 comparator is modeled non-cached only")
+		}
+		cfg.SyncSpindles = true // RAID3 requires synchronized spindles
+		c := newCommon(eng, cfg, cfg.N+1)
+		return &raid3Ctrl{common: c, n: cfg.N, bpd: bpd}, nil
+	case OrgParityLog:
+		if cfg.Cached {
+			return nil, fmt.Errorf("array: parity logging is modeled non-cached only (its log plays the cache's role)")
+		}
+		c := newCommon(eng, cfg, cfg.N+1)
+		return newParityLog(c, cfg), nil
+	case OrgMirror:
+		lay := layout.NewMirror(cfg.N, bpd)
+		c := newCommon(eng, cfg, lay.Disks())
+		if cfg.Cached {
+			return newCachedPlain(c, lay, lay), nil
+		}
+		return &mirrorCtrl{common: c, lay: lay}, nil
+	case OrgRAID5:
+		lay := layout.NewRAID5(cfg.N, bpd, cfg.StripingUnit)
+		c := newCommon(eng, cfg, lay.Disks())
+		if cfg.Cached {
+			return newCachedParity(c, lay), nil
+		}
+		return &parityCtrl{common: c, lay: lay}, nil
+	case OrgParityStriping:
+		lay := layout.NewParityStriping(cfg.N, bpd, cfg.Placement, cfg.ParityStripeUnit)
+		c := newCommon(eng, cfg, lay.Disks())
+		if cfg.Cached {
+			return newCachedParity(c, lay), nil
+		}
+		return &parityCtrl{common: c, lay: lay}, nil
+	case OrgRAID4:
+		if !cfg.Cached {
+			return nil, fmt.Errorf("array: RAID4 is only studied with parity caching; set Cached")
+		}
+		lay := layout.NewRAID4(cfg.N, bpd, cfg.StripingUnit)
+		c := newCommon(eng, cfg, lay.Disks())
+		return newCachedRAID4(c, lay), nil
+	}
+	return nil, fmt.Errorf("array: unknown organization %v", cfg.Org)
+}
+
+// common holds the hardware every controller variant shares.
+type common struct {
+	eng   *sim.Engine
+	cfg   Config
+	disks []*disk.Disk
+	ch    *bus.Channel
+	buf   *bus.BufferPool
+
+	requests               int64
+	inflight               int64
+	resp                   stats.Summary
+	readResp               stats.Summary
+	writeResp              stats.Summary
+	readHits, readMisses   int64
+	writeHits, writeMisses int64
+	parityAccesses         int64
+}
+
+func newCommon(eng *sim.Engine, cfg Config, ndisks int) *common {
+	src := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	c := &common{
+		eng: eng,
+		cfg: cfg,
+		ch:  bus.NewChannel(eng, cfg.Spec.ChannelMBps),
+		buf: bus.NewBufferPool(eng, cfg.BuffersPerDisk*ndisks),
+	}
+	c.disks = make([]*disk.Disk, ndisks)
+	sharedPhase := src.Float64()
+	for i := range c.disks {
+		phase := sharedPhase
+		if !cfg.SyncSpindles {
+			phase = src.Float64()
+		}
+		c.disks[i] = disk.New(eng, i, cfg.Spec, cfg.Seek, phase)
+		c.disks[i].SetSched(cfg.DiskSched)
+	}
+	return c
+}
+
+func (c *common) begin() sim.Time {
+	c.requests++
+	c.inflight++
+	return c.eng.Now()
+}
+
+func (c *common) finish(r Request, start sim.Time) {
+	if start >= c.cfg.Warmup {
+		ms := sim.Millis(c.eng.Now() - start)
+		c.resp.Add(ms)
+		if r.Op == trace.Read {
+			c.readResp.Add(ms)
+		} else {
+			c.writeResp.Add(ms)
+		}
+	}
+	c.inflight--
+	if r.OnComplete != nil {
+		r.OnComplete()
+	}
+}
+
+// Drained implements Controller.
+func (c *common) Drained() bool { return c.inflight == 0 }
+
+// chanXfer moves n blocks over the array channel.
+func (c *common) chanXfer(n int, onDone func()) {
+	c.ch.Transfer(int64(n)*int64(c.cfg.Spec.BlockBytes), onDone)
+}
+
+func (c *common) baseResults(org Org) *Results {
+	r := &Results{
+		Org:       org,
+		Requests:  c.requests,
+		Resp:      c.resp,
+		ReadResp:  c.readResp,
+		WriteResp: c.writeResp,
+		ReadHits:  c.readHits, ReadMisses: c.readMisses,
+		WriteHits: c.writeHits, WriteMisses: c.writeMisses,
+		ParityAccesses: c.parityAccesses,
+	}
+	now := c.eng.Now()
+	var distSum, seeks int64
+	for _, d := range c.disks {
+		r.DiskAccesses = append(r.DiskAccesses, d.S.Accesses)
+		r.DiskUtil = append(r.DiskUtil, d.S.Util.Value(now))
+		r.HeldRotations += d.S.HeldRotations
+		distSum += d.S.SeekDistSum
+		seeks += d.S.SeekCount
+	}
+	if seeks > 0 {
+		r.SeekDistMean = float64(distSum) / float64(seeks)
+	}
+	return r
+}
+
+// latch runs fn once n completions have been signalled. A latch created
+// with n == 0 fires immediately.
+type latch struct {
+	n  int
+	fn func()
+}
+
+func newLatch(n int, fn func()) *latch {
+	l := &latch{n: n, fn: fn}
+	if n == 0 {
+		fn()
+	}
+	return l
+}
+
+func (l *latch) done() {
+	l.n--
+	if l.n == 0 {
+		l.fn()
+	} else if l.n < 0 {
+		panic("array: latch over-released")
+	}
+}
+
+func (c *common) checkRequest(r Request, capacity int64) {
+	if r.Blocks <= 0 {
+		panic("array: request with no blocks")
+	}
+	if r.LBA < 0 || r.LBA+int64(r.Blocks) > capacity {
+		panic(fmt.Sprintf("array: request [%d,%d) outside [0,%d)", r.LBA, r.LBA+int64(r.Blocks), capacity))
+	}
+}

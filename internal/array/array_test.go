@@ -1,0 +1,449 @@
+package array
+
+import (
+	"testing"
+
+	"raidsim/internal/geom"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+func testConfig(org Org, cached bool) Config {
+	return Config{
+		Org:    org,
+		N:      4,
+		Spec:   geom.Default(),
+		Sync:   DF,
+		Cached: cached,
+		// Small cache so eviction paths get exercised in tests that want
+		// them; tests that don't will override.
+		CacheBlocks: 1024,
+		Seed:        7,
+	}
+}
+
+func build(t *testing.T, cfg Config) (*sim.Engine, Controller) {
+	t.Helper()
+	eng := sim.New()
+	ctrl, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ctrl
+}
+
+// drain advances simulated time until all in-flight requests finish.
+// Cached controllers' destage tickers re-arm forever, so it must step in
+// bounded increments rather than running the engine dry.
+func drain(t *testing.T, eng *sim.Engine, ctrl Controller) {
+	t.Helper()
+	for i := 0; i < 100000 && !ctrl.Drained(); i++ {
+		eng.RunFor(10 * sim.Millisecond)
+	}
+	if !ctrl.Drained() {
+		t.Fatal("controller did not drain")
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	eng := sim.New()
+	if _, err := New(eng, Config{Org: OrgBase, N: 1, Spec: geom.Default()}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := New(eng, Config{Org: OrgRAID4, N: 4, Spec: geom.Default()}); err == nil {
+		t.Fatal("non-cached RAID4 accepted")
+	}
+	bad := geom.Default()
+	bad.RPM = 0
+	if _, err := New(eng, Config{Org: OrgBase, N: 4, Spec: bad}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestBaseReadWrite(t *testing.T) {
+	eng, ctrl := build(t, testConfig(OrgBase, false))
+	ctrl.Submit(Request{Op: trace.Read, LBA: 0, Blocks: 1})
+	ctrl.Submit(Request{Op: trace.Write, LBA: 100, Blocks: 2})
+	drain(t, eng, ctrl)
+	res := ctrl.Results()
+	if res.Requests != 2 || res.Resp.N() != 2 {
+		t.Fatalf("requests %d, samples %d", res.Requests, res.Resp.N())
+	}
+	if res.ReadResp.N() != 1 || res.WriteResp.N() != 1 {
+		t.Fatal("op classification wrong")
+	}
+	// Sanity: response within physical bounds (>= transfer, <= 100ms idle).
+	if m := res.Resp.Mean(); m < 0.4 || m > 100 {
+		t.Fatalf("mean response %f ms", m)
+	}
+}
+
+func TestMirrorWritesBothCopies(t *testing.T) {
+	cfg := testConfig(OrgMirror, false)
+	eng, ctrl := build(t, cfg)
+	for i := 0; i < 10; i++ {
+		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i * 7), Blocks: 1})
+	}
+	drain(t, eng, ctrl)
+	m := ctrl.(*mirrorCtrl)
+	// All writes hit logical disk 0 => physical disks 0 and 1.
+	if m.disks[0].S.Writes != 10 || m.disks[1].S.Writes != 10 {
+		t.Fatalf("copies saw %d/%d writes, want 10/10",
+			m.disks[0].S.Writes, m.disks[1].S.Writes)
+	}
+}
+
+func TestMirrorReadsSplitAcrossCopies(t *testing.T) {
+	cfg := testConfig(OrgMirror, false)
+	eng, ctrl := build(t, cfg)
+	// Many scattered reads on logical disk 0: the shortest-seek routing
+	// should use both arms.
+	bpd := cfg.Spec.BlocksPerDisk()
+	for i := 0; i < 60; i++ {
+		ctrl.Submit(Request{Op: trace.Read, LBA: (int64(i) * 3797) % bpd, Blocks: 1})
+	}
+	drain(t, eng, ctrl)
+	m := ctrl.(*mirrorCtrl)
+	r0, r1 := m.disks[0].S.Reads, m.disks[1].S.Reads
+	if r0+r1 != 60 {
+		t.Fatalf("reads %d+%d, want 60", r0, r1)
+	}
+	if r0 == 0 || r1 == 0 {
+		t.Fatalf("read load not split: %d/%d", r0, r1)
+	}
+}
+
+func TestParityWriteTouchesTwoDisks(t *testing.T) {
+	cfg := testConfig(OrgRAID5, false)
+	eng, ctrl := build(t, cfg)
+	ctrl.Submit(Request{Op: trace.Write, LBA: 0, Blocks: 1})
+	drain(t, eng, ctrl)
+	p := ctrl.(*parityCtrl)
+	var rmws int64
+	for _, d := range p.disks {
+		rmws += d.S.RMWs
+	}
+	if rmws != 2 {
+		t.Fatalf("single-block RAID5 write did %d RMWs, want 2 (data + parity)", rmws)
+	}
+	if p.parityAccesses != 1 {
+		t.Fatalf("parity accesses %d", p.parityAccesses)
+	}
+}
+
+func TestFullStripeWriteSkipsRMW(t *testing.T) {
+	cfg := testConfig(OrgRAID5, false)
+	cfg.StripingUnit = 1
+	eng, ctrl := build(t, cfg)
+	// N=4: logical blocks 0..3 are one full stripe.
+	ctrl.Submit(Request{Op: trace.Write, LBA: 0, Blocks: 4})
+	drain(t, eng, ctrl)
+	p := ctrl.(*parityCtrl)
+	var rmws, writes int64
+	for _, d := range p.disks {
+		rmws += d.S.RMWs
+		writes += d.S.Writes
+	}
+	if rmws != 0 {
+		t.Fatalf("full-stripe write did %d RMWs", rmws)
+	}
+	if writes != 5 { // 4 data + 1 parity, all plain
+		t.Fatalf("plain writes %d, want 5", writes)
+	}
+}
+
+// TestSyncPoliciesHeldRotations: SI must burn extra rotations waiting for
+// old data; RF never does. DF sits between.
+func TestSyncPoliciesHeldRotations(t *testing.T) {
+	held := map[SyncPolicy]int64{}
+	for _, pol := range []SyncPolicy{SI, RF, DF} {
+		cfg := testConfig(OrgRAID5, false)
+		cfg.Sync = pol
+		eng, ctrl := build(t, cfg)
+		p := ctrl.(*parityCtrl)
+		// Put load on the data disk so its old-data read is slow: several
+		// reads queued ahead of the write's RMW.
+		dataLoc := p.lay.Map(0)
+		for i := 0; i < 6; i++ {
+			lba := int64(0)
+			// Find lbas mapping to the same data disk for queue pressure.
+			for l := int64(0); l < 500; l++ {
+				if p.lay.Map(l).Disk == dataLoc.Disk {
+					lba = l
+					if i == int(l%7) {
+						break
+					}
+				}
+			}
+			ctrl.Submit(Request{Op: trace.Read, LBA: lba, Blocks: 1})
+		}
+		ctrl.Submit(Request{Op: trace.Write, LBA: 0, Blocks: 1})
+		drain(t, eng, ctrl)
+		var h int64
+		for _, d := range p.disks {
+			h += d.S.HeldRotations
+		}
+		held[pol] = h
+	}
+	if held[SI] == 0 {
+		t.Fatalf("SI with a busy data disk should hold rotations; held=%v", held)
+	}
+	if held[RF] != 0 {
+		t.Fatalf("RF issued parity before reads completed; held=%v", held)
+	}
+	if held[SI] < held[DF] {
+		t.Fatalf("SI should hold at least as many rotations as DF: %v", held)
+	}
+}
+
+func TestCachedReadHitIsChannelOnly(t *testing.T) {
+	cfg := testConfig(OrgBase, true)
+	eng, ctrl := build(t, cfg)
+	ctrl.Submit(Request{Op: trace.Write, LBA: 5, Blocks: 1}) // populate
+	drain(t, eng, ctrl)
+	ctrl.Submit(Request{Op: trace.Read, LBA: 5, Blocks: 1})
+	drain(t, eng, ctrl)
+	res := ctrl.Results()
+	// One 4KB channel transfer = 0.41 ms; allow a little slack.
+	if ms := res.ReadResp.Mean(); ms > 1 {
+		t.Fatalf("read hit took %.3f ms; should be channel-only", ms)
+	}
+	if res.ReadHits != 1 || res.ReadMisses != 0 {
+		t.Fatalf("hits %d misses %d", res.ReadHits, res.ReadMisses)
+	}
+}
+
+func TestCachedMultiblockHitCounting(t *testing.T) {
+	cfg := testConfig(OrgBase, true)
+	eng, ctrl := build(t, cfg)
+	ctrl.Submit(Request{Op: trace.Write, LBA: 10, Blocks: 2}) // blocks 10,11 cached
+	drain(t, eng, ctrl)
+	// 3-block read covering a miss (block 12): the request counts as a
+	// miss even though two blocks hit.
+	ctrl.Submit(Request{Op: trace.Read, LBA: 10, Blocks: 3})
+	drain(t, eng, ctrl)
+	res := ctrl.Results()
+	if res.ReadHits != 0 || res.ReadMisses != 1 {
+		t.Fatalf("multiblock hit counting wrong: %d/%d", res.ReadHits, res.ReadMisses)
+	}
+}
+
+func TestCachedWriteIsFast(t *testing.T) {
+	cfg := testConfig(OrgRAID5, true)
+	eng, ctrl := build(t, cfg)
+	ctrl.Submit(Request{Op: trace.Write, LBA: 500, Blocks: 1})
+	drain(t, eng, ctrl)
+	if ms := ctrl.Results().WriteResp.Mean(); ms > 1 {
+		t.Fatalf("cached write took %.3f ms", ms)
+	}
+}
+
+func TestDestageCleansCache(t *testing.T) {
+	cfg := testConfig(OrgRAID5, true)
+	cfg.DestagePeriod = 100 * sim.Millisecond
+	eng, ctrl := build(t, cfg)
+	cp := ctrl.(*cachedParity)
+	for i := 0; i < 20; i++ {
+		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i * 11), Blocks: 1})
+	}
+	eng.RunFor(10 * sim.Millisecond)
+	if cp.c.DirtyCount() == 0 {
+		t.Fatal("no dirty blocks after writes")
+	}
+	eng.RunFor(5 * sim.Second)
+	if got := cp.c.DirtyCount(); got != 0 {
+		t.Fatalf("%d dirty blocks after destage window", got)
+	}
+	if cp.c.S.Destages == 0 {
+		t.Fatal("no destages recorded")
+	}
+}
+
+func TestPureLRUKeepsDirtyUntilEviction(t *testing.T) {
+	cfg := testConfig(OrgBase, true)
+	cfg.PureLRUWriteback = true
+	eng, ctrl := build(t, cfg)
+	cp := ctrl.(*cachedPlain)
+	for i := 0; i < 20; i++ {
+		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i), Blocks: 1})
+	}
+	eng.RunFor(30 * sim.Second)
+	if got := cp.c.DirtyCount(); got != 20 {
+		t.Fatalf("pure LRU destaged early: %d dirty, want 20", got)
+	}
+}
+
+func TestEvictionWritesBackDirtyVictim(t *testing.T) {
+	cfg := testConfig(OrgBase, true)
+	cfg.CacheBlocks = 8
+	cfg.PureLRUWriteback = true // keep victims dirty
+	eng, ctrl := build(t, cfg)
+	cp := ctrl.(*cachedPlain)
+	bpd := cfg.Spec.BlocksPerDisk()
+	for i := 0; i < 8; i++ {
+		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i), Blocks: 1})
+	}
+	drain(t, eng, ctrl)
+	// Now read 8 uncached blocks: every insertion must evict a dirty
+	// victim and write it to disk first.
+	for i := 0; i < 8; i++ {
+		ctrl.Submit(Request{Op: trace.Read, LBA: bpd + int64(i*100), Blocks: 1})
+	}
+	drain(t, eng, ctrl)
+	var writes int64
+	for _, d := range cp.disks {
+		writes += d.S.Writes
+	}
+	if writes < 8 {
+		t.Fatalf("only %d victim write-backs", writes)
+	}
+	if cp.c.S.DirtyEvictions != 8 {
+		t.Fatalf("dirty evictions %d, want 8", cp.c.S.DirtyEvictions)
+	}
+}
+
+func TestRAID4ParityGoesToParityDisk(t *testing.T) {
+	cfg := testConfig(OrgRAID4, true)
+	cfg.DestagePeriod = 100 * sim.Millisecond
+	eng, ctrl := build(t, cfg)
+	r4 := ctrl.(*cachedRAID4)
+	for i := 0; i < 30; i++ {
+		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i * 13), Blocks: 1})
+	}
+	eng.RunFor(20 * sim.Second)
+	drain(t, eng, ctrl)
+	pd := r4.play.ParityDisk()
+	if r4.disks[pd].S.Accesses == 0 {
+		t.Fatal("parity disk idle after destage")
+	}
+	for d, dk := range r4.disks {
+		if d == pd {
+			continue
+		}
+		if dk.S.RMWs > 0 && r4.c.S.OldCaptured > 0 {
+			// Data-disk RMWs happen only when old data is missing; with
+			// write misses that's legitimate. Just ensure no parity
+			// (dedicated-disk) traffic leaked onto data disks: parity
+			// accesses counter must equal parity-disk accesses.
+			break
+		}
+	}
+	if got := r4.c.S.ParityQueued; got == 0 {
+		t.Fatal("no parity updates spooled")
+	}
+	if r4.c.ParityPendingCount() != 0 {
+		t.Fatalf("%d parity updates still pending after drain window", r4.c.ParityPendingCount())
+	}
+}
+
+func TestRAID4TinyCacheStallsButProgresses(t *testing.T) {
+	cfg := testConfig(OrgRAID4, true)
+	cfg.CacheBlocks = 16
+	cfg.DestagePeriod = 50 * sim.Millisecond
+	eng, ctrl := build(t, cfg)
+	r4 := ctrl.(*cachedRAID4)
+	for i := 0; i < 200; i++ {
+		i := i
+		eng.At(sim.Time(i)*2*sim.Millisecond, func() {
+			ctrl.Submit(Request{Op: trace.Write, LBA: int64(i * 37), Blocks: 1})
+		})
+	}
+	drain(t, eng, ctrl)
+	eng.RunFor(30 * sim.Second) // let the spool fully drain
+	if r4.c.ParityPendingCount() != 0 || len(r4.stalled) != 0 {
+		t.Fatalf("spool wedged: pending=%d stalled=%d",
+			r4.c.ParityPendingCount(), len(r4.stalled))
+	}
+	res := ctrl.Results()
+	if res.Requests != 200 || res.Resp.N() != 200 {
+		t.Fatalf("requests %d responses %d", res.Requests, res.Resp.N())
+	}
+}
+
+func TestResultsHitRatios(t *testing.T) {
+	r := &Results{ReadHits: 3, ReadMisses: 1, WriteHits: 1, WriteMisses: 3}
+	if r.ReadHitRatio() != 0.75 || r.WriteHitRatio() != 0.25 {
+		t.Fatal("hit ratio math wrong")
+	}
+	empty := &Results{}
+	if empty.ReadHitRatio() != 0 || empty.WriteHitRatio() != 0 {
+		t.Fatal("empty ratios should be 0")
+	}
+}
+
+func TestSubmitValidatesRange(t *testing.T) {
+	_, ctrl := build(t, testConfig(OrgBase, false))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range request accepted")
+		}
+	}()
+	ctrl.Submit(Request{Op: trace.Read, LBA: ctrl.DataBlocks(), Blocks: 1})
+}
+
+// TestDestageFullStripeSkipsRMW: when a whole stripe is dirty in the
+// cache, its destage writes data and parity directly — no old-data or
+// old-parity reads even though the blocks were write misses.
+func TestDestageFullStripeSkipsRMW(t *testing.T) {
+	cfg := testConfig(OrgRAID5, true)
+	cfg.DestagePeriod = 100 * sim.Millisecond
+	eng, ctrl := build(t, cfg)
+	cp := ctrl.(*cachedParity)
+	// N=4, SU=1: logical blocks 0..3 are one full stripe.
+	ctrl.Submit(Request{Op: trace.Write, LBA: 0, Blocks: 4})
+	eng.RunFor(3 * sim.Second)
+	drain(t, eng, ctrl)
+	var rmws, writes int64
+	for _, d := range cp.disks {
+		rmws += d.S.RMWs
+		writes += d.S.Writes
+	}
+	if rmws != 0 {
+		t.Fatalf("full-stripe destage did %d RMWs", rmws)
+	}
+	if writes != 5 { // 4 data + 1 parity
+		t.Fatalf("full-stripe destage issued %d plain writes, want 5", writes)
+	}
+}
+
+// TestDestageUsesShadowToSkipDataRMW: a read-then-write leaves the old
+// image in the cache, so the destage's data write is plain and only the
+// parity disk pays the extra rotation.
+func TestDestageUsesShadowToSkipDataRMW(t *testing.T) {
+	cfg := testConfig(OrgRAID5, true)
+	cfg.DestagePeriod = 100 * sim.Millisecond
+	eng, ctrl := build(t, cfg)
+	cp := ctrl.(*cachedParity)
+	ctrl.Submit(Request{Op: trace.Read, LBA: 7, Blocks: 1}) // fetch: old image known
+	drain(t, eng, ctrl)
+	ctrl.Submit(Request{Op: trace.Write, LBA: 7, Blocks: 1})
+	eng.RunFor(3 * sim.Second)
+	drain(t, eng, ctrl)
+	dataDisk := cp.play.Map(7).Disk
+	parityDisk := cp.play.Parity(7).Disk
+	if got := cp.disks[dataDisk].S.RMWs; got != 0 {
+		t.Fatalf("data disk did %d RMWs despite the cached old image", got)
+	}
+	if got := cp.disks[parityDisk].S.RMWs; got != 1 {
+		t.Fatalf("parity disk did %d RMWs, want 1", got)
+	}
+	if cp.c.S.OldCaptured != 1 {
+		t.Fatalf("old image not captured: %d", cp.c.S.OldCaptured)
+	}
+}
+
+// TestWriteMissDestageNeedsDataRMW: without the old image the destage
+// must read old data from the data disk.
+func TestWriteMissDestageNeedsDataRMW(t *testing.T) {
+	cfg := testConfig(OrgRAID5, true)
+	cfg.DestagePeriod = 100 * sim.Millisecond
+	eng, ctrl := build(t, cfg)
+	cp := ctrl.(*cachedParity)
+	ctrl.Submit(Request{Op: trace.Write, LBA: 11, Blocks: 1}) // miss: no old image
+	eng.RunFor(3 * sim.Second)
+	drain(t, eng, ctrl)
+	dataDisk := cp.play.Map(11).Disk
+	if got := cp.disks[dataDisk].S.RMWs; got != 1 {
+		t.Fatalf("data disk did %d RMWs, want 1 (old image unknown)", got)
+	}
+}

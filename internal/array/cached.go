@@ -1,0 +1,369 @@
+package array
+
+import (
+	"raidsim/internal/cache"
+	"raidsim/internal/disk"
+	"raidsim/internal/layout"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+// cachedCtrl holds what every cached organization shares: the NV cache,
+// the periodic destage ticker, room-making (eviction) and the read/write
+// front-end. The organization-specific part is writeBack — how a set of
+// dirty blocks reaches the disks — and how read-miss fetch runs are laid
+// out, both supplied by the embedding type.
+type cachedCtrl struct {
+	*common
+	lay    layout.DataLayout
+	c      *cache.Cache
+	ticker *sim.Ticker
+
+	// writeBackMarked persists cached dirty blocks already marked as
+	// destaging and calls onDone when they are clean on disk. spread
+	// distributes the issues over a window to limit interference.
+	// Supplied by the embedding organization.
+	writeBackMarked func(lbas []int64, pri disk.Priority, spread sim.Time, onDone func())
+	// fetchRuns lays out a read-miss fetch for the given blocks.
+	fetchRuns func(lbas []int64) []run
+}
+
+// writeBack marks the blocks as destaging and persists them.
+func (cc *cachedCtrl) writeBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
+	for _, l := range lbas {
+		cc.c.BeginDestage(l)
+	}
+	cc.writeBackMarked(lbas, pri, spread, onDone)
+}
+
+func (cc *cachedCtrl) initDestage() {
+	if cc.cfg.PureLRUWriteback {
+		return
+	}
+	cc.ticker = sim.NewTicker(cc.eng, cc.cfg.DestagePeriod, cc.destageTick)
+}
+
+// DataBlocks implements Controller.
+func (cc *cachedCtrl) DataBlocks() int64 { return cc.lay.DataBlocks() }
+
+func (cc *cachedCtrl) cachedResults(org Org) *Results {
+	r := cc.baseResults(org)
+	r.Cache = cc.c.S
+	return r
+}
+
+// destageChunk bounds how many blocks one write-back batch may carry, so
+// a large destage neither seizes the whole track-buffer pool nor floods
+// the disk queues at once.
+const destageChunk = 16
+
+// destageTick writes back all currently dirty blocks in chunks staggered
+// across 80% of the destage period, so the asynchronous writes interfere
+// minimally with foreground reads. Chunks keep stripe-adjacent blocks
+// together (the candidate list is LBA-sorted), preserving most
+// full-stripe write-back opportunities.
+func (cc *cachedCtrl) destageTick() {
+	lbas := cc.c.DirtyNotDestaging()
+	if len(lbas) == 0 {
+		return
+	}
+	spread := cc.cfg.DestagePeriod / 5
+	nchunks := (len(lbas) + destageChunk - 1) / destageChunk
+	gap := spread / sim.Time(nchunks)
+	for i := 0; i < nchunks; i++ {
+		chunk := lbas[i*destageChunk : min(len(lbas), (i+1)*destageChunk)]
+		// Mark now so the next tick (or a concurrent victim flush) does
+		// not pick the same blocks; the delayed write-back skips the
+		// marking step.
+		for _, l := range chunk {
+			cc.c.BeginDestage(l)
+		}
+		// Destage accesses run at normal priority — the paper limits
+		// their interference by scheduling them progressively (the
+		// stagger), not by preempting them.
+		if i == 0 {
+			cc.writeBackMarked(chunk, disk.PriNormal, gap, func() {})
+			continue
+		}
+		cc.eng.After(gap*sim.Time(i), func() {
+			cc.writeBackMarked(chunk, disk.PriNormal, gap, func() {})
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// makeRoom frees cache slots until at least want are available, then runs
+// fn. Clean victims are dropped; a dirty victim must first be written to
+// disk — the cost the destage process exists to make rare.
+func (cc *cachedCtrl) makeRoom(want int, fn func()) {
+	for cc.c.FreeSlots() < want {
+		v := cc.c.Victim()
+		if v == nil {
+			// Everything is mid-destage; retry shortly.
+			cc.eng.After(sim.Millisecond, func() { cc.makeRoom(want, fn) })
+			return
+		}
+		if v.Dirty {
+			lba := v.LBA
+			cc.c.NoteDirtyEviction()
+			cc.writeBack([]int64{lba}, disk.PriNormal, 0, func() {
+				if e := cc.c.Lookup(lba); e != nil && !e.Dirty && !e.Destaging {
+					cc.c.Drop(lba)
+				}
+				cc.makeRoom(want, fn)
+			})
+			return
+		}
+		cc.c.Drop(v.LBA)
+	}
+	fn()
+}
+
+// Submit implements Controller.
+func (cc *cachedCtrl) Submit(r Request) {
+	cc.checkRequest(r, cc.lay.DataBlocks())
+	start := cc.begin()
+	if r.Op == trace.Read {
+		cc.read(r, start)
+	} else {
+		cc.write(r, start)
+	}
+}
+
+// read serves hits from the cache (channel time only) and fetches misses
+// from disk. A multiblock request counts as a hit only when every block
+// is cached.
+func (cc *cachedCtrl) read(r Request, start sim.Time) {
+	var missing []int64
+	for i := 0; i < r.Blocks; i++ {
+		l := r.LBA + int64(i)
+		if !cc.c.Touch(l) {
+			missing = append(missing, l)
+		}
+	}
+	measured := start >= cc.cfg.Warmup
+	if len(missing) == 0 {
+		if measured {
+			cc.readHits++
+		}
+		cc.chanXfer(r.Blocks, func() { cc.finish(r, start) })
+		return
+	}
+	if measured {
+		cc.readMisses++
+	}
+	cc.makeRoom(len(missing), func() {
+		// A concurrent miss may have inserted some blocks meanwhile.
+		fetch := missing[:0]
+		for _, l := range missing {
+			if !cc.c.Contains(l) {
+				cc.c.Insert(l, false)
+				fetch = append(fetch, l)
+			}
+		}
+		if len(fetch) == 0 {
+			cc.chanXfer(r.Blocks, func() { cc.finish(r, start) })
+			return
+		}
+		runs := cc.fetchRuns(fetch)
+		cc.readRuns(runs, r.Blocks, func() { cc.finish(r, start) })
+	})
+}
+
+// write lands the data in the NV cache: channel transfer, then per-block
+// bookkeeping. The response completes without touching a disk unless a
+// dirty block must be evicted to make room.
+func (cc *cachedCtrl) write(r Request, start sim.Time) {
+	allHit := true
+	for i := 0; i < r.Blocks; i++ {
+		if !cc.c.Contains(r.LBA + int64(i)) {
+			allHit = false
+			break
+		}
+	}
+	if start >= cc.cfg.Warmup {
+		if allHit {
+			cc.writeHits++
+		} else {
+			cc.writeMisses++
+		}
+	}
+	cc.chanXfer(r.Blocks, func() {
+		cc.insertDirty(r.LBA, r.Blocks, 0, func() { cc.finish(r, start) })
+	})
+}
+
+// insertDirty processes block i of the write, serializing room-making.
+func (cc *cachedCtrl) insertDirty(lba int64, n, i int, done func()) {
+	if i == n {
+		done()
+		return
+	}
+	l := lba + int64(i)
+	if cc.c.Contains(l) {
+		cc.c.MarkDirty(l)
+		cc.insertDirty(lba, n, i+1, done)
+		return
+	}
+	cc.makeRoom(1, func() {
+		if cc.c.Contains(l) {
+			cc.c.MarkDirty(l)
+		} else {
+			cc.c.Insert(l, true)
+		}
+		cc.insertDirty(lba, n, i+1, done)
+	})
+}
+
+// newCachedPlain builds the cached Base (mir == nil) or Mirror
+// organization: no parity, so write-back is plain data writes (both
+// copies for Mirror) and read-miss fetches use the nearest copy.
+func newCachedPlain(c *common, lay layout.DataLayout, mir layout.MirrorLayout) *cachedPlain {
+	cp := &cachedPlain{
+		cachedCtrl: &cachedCtrl{
+			common: c,
+			lay:    lay,
+			c: cache.New(cache.Config{
+				Blocks:      c.cfg.CacheBlocks,
+				KeepOldData: false,
+			}),
+		},
+		mir: mir,
+	}
+	cp.writeBackMarked = cp.doWriteBack
+	cp.fetchRuns = cp.doFetchRuns
+	cp.initDestage()
+	return cp
+}
+
+type cachedPlain struct {
+	*cachedCtrl
+	mir layout.MirrorLayout
+	org Org
+}
+
+// Results implements Controller.
+func (cp *cachedPlain) Results() *Results {
+	org := cp.org
+	if org == 0 && cp.mir != nil {
+		org = OrgMirror
+	}
+	return cp.cachedResults(org)
+}
+
+func (cp *cachedPlain) doFetchRuns(lbas []int64) []run {
+	if cp.mir == nil {
+		return dataRuns(cp.lay, lbas)
+	}
+	// Shortest-seek routing per run, as in the non-cached mirror.
+	runs := dataRuns(cp.lay, lbas)
+	for i := range runs {
+		rn := &runs[i]
+		d0, d1 := cp.disks[rn.disk], cp.disks[rn.disk+1]
+		cyl := cp.cfg.Spec.ToCHS(rn.start).Cylinder
+		dist0, dist1 := abs(d0.Cylinder()-cyl), abs(d1.Cylinder()-cyl)
+		if dist1 < dist0 || (dist1 == dist0 && d1.QueueLen() < d0.QueueLen()) {
+			rn.disk++
+		}
+	}
+	return runs
+}
+
+func (cp *cachedPlain) doWriteBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
+	runs := dataRuns(cp.lay, lbas)
+	if cp.mir != nil {
+		runs = append(runs, altRuns(cp.mir, lbas)...)
+	}
+	var stagger sim.Time
+	if len(runs) > 1 && spread > 0 {
+		stagger = spread / sim.Time(len(runs))
+	}
+	cp.buf.Acquire(len(runs), func() {
+		done := newLatch(len(runs), func() {
+			cp.buf.Release(len(runs))
+			for _, l := range lbas {
+				cp.c.CompleteDestage(l)
+			}
+			onDone()
+		})
+		for i, rn := range runs {
+			req := &disk.Request{
+				StartBlock: rn.start, Blocks: rn.blocks, Write: true,
+				Priority: pri, OnDone: done.done,
+			}
+			d := cp.disks[rn.disk]
+			if stagger > 0 && i > 0 {
+				cp.eng.After(stagger*sim.Time(i), func() { d.Submit(req) })
+			} else {
+				d.Submit(req)
+			}
+		}
+	})
+}
+
+// newCachedParity builds the cached RAID5 or Parity Striping controller:
+// the cache keeps old-data shadows so destage can usually skip re-reading
+// old data, but the old parity must still be read (an extra rotation at
+// the parity disk) for partial-stripe write-back.
+func newCachedParity(c *common, lay layout.ParityLayout) *cachedParity {
+	cp := &cachedParity{
+		cachedCtrl: &cachedCtrl{
+			common: c,
+			lay:    lay,
+			c: cache.New(cache.Config{
+				Blocks:      c.cfg.CacheBlocks,
+				KeepOldData: true,
+			}),
+		},
+		play: lay,
+	}
+	cp.writeBackMarked = cp.doWriteBack
+	cp.fetchRuns = func(lbas []int64) []run { return dataRuns(cp.lay, lbas) }
+	cp.initDestage()
+	return cp
+}
+
+type cachedParity struct {
+	*cachedCtrl
+	play layout.ParityLayout
+}
+
+// Results implements Controller.
+func (cp *cachedParity) Results() *Results {
+	if _, ok := cp.play.(*layout.ParityStriping); ok {
+		return cp.cachedResults(OrgParityStriping)
+	}
+	return cp.cachedResults(OrgRAID5)
+}
+
+func (cp *cachedParity) doWriteBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
+	plan := planUpdate(cp.play, lbas, func(l int64) bool {
+		e := cp.c.Lookup(l)
+		return e != nil && e.HasOld
+	})
+	n := plan.totalRuns()
+	var stagger sim.Time
+	if len(plan.dataRuns) > 1 && spread > 0 {
+		stagger = spread / sim.Time(len(plan.dataRuns))
+	}
+	cp.buf.Acquire(n, func() {
+		cp.executeUpdate(plan, updateOpts{
+			policy:  cp.cfg.Sync,
+			pri:     pri,
+			stagger: stagger,
+			onDone: func() {
+				cp.buf.Release(n)
+				for _, l := range lbas {
+					cp.c.CompleteDestage(l)
+				}
+				onDone()
+			},
+		})
+	})
+}

@@ -1,0 +1,184 @@
+package array
+
+import (
+	"raidsim/internal/disk"
+	"raidsim/internal/layout"
+	"raidsim/internal/trace"
+)
+
+// baseCtrl serves any redundancy-free DataLayout: the Base organization
+// (independent disks) and RAID0 (pure striping). Reads go disk -> track
+// buffer -> channel; writes go channel -> track buffer -> disk.
+type baseCtrl struct {
+	*common
+	lay layout.DataLayout
+	org Org
+}
+
+// DataBlocks implements Controller.
+func (b *baseCtrl) DataBlocks() int64 { return b.lay.DataBlocks() }
+
+// Results implements Controller.
+func (b *baseCtrl) Results() *Results { return b.baseResults(b.org) }
+
+// Submit implements Controller.
+func (b *baseCtrl) Submit(r Request) {
+	b.checkRequest(r, b.lay.DataBlocks())
+	start := b.begin()
+	runs := dataRunsSpan(b.lay, r.LBA, r.Blocks)
+	if r.Op == trace.Read {
+		b.readRuns(runs, r.Blocks, func() { b.finish(r, start) })
+		return
+	}
+	b.buf.Acquire(len(runs), func() {
+		b.chanXfer(r.Blocks, func() {
+			done := newLatch(len(runs), func() {
+				b.buf.Release(len(runs))
+				b.finish(r, start)
+			})
+			for _, rn := range runs {
+				b.disks[rn.disk].Submit(&disk.Request{
+					StartBlock: rn.start, Blocks: rn.blocks, Write: true,
+					Priority: disk.PriNormal, OnDone: done.done,
+				})
+			}
+		})
+	})
+}
+
+// readRuns performs plain reads for the runs, then one channel transfer
+// of the full request, then onDone. Shared by every organization.
+func (c *common) readRuns(runs []run, totalBlocks int, onDone func()) {
+	c.buf.Acquire(len(runs), func() {
+		done := newLatch(len(runs), func() {
+			c.chanXfer(totalBlocks, func() {
+				c.buf.Release(len(runs))
+				onDone()
+			})
+		})
+		for _, rn := range runs {
+			c.disks[rn.disk].Submit(&disk.Request{
+				StartBlock: rn.start, Blocks: rn.blocks,
+				Priority: disk.PriNormal, OnDone: done.done,
+			})
+		}
+	})
+}
+
+// mirrorCtrl is the non-cached mirrored organization: each logical disk
+// is a pair. Writes update both copies (response is the max of the two);
+// reads go to the copy whose arm is nearer the target cylinder, with
+// queue length as tie-break (the paper's shortest-seek optimization).
+type mirrorCtrl struct {
+	*common
+	lay *layout.Mirror
+}
+
+// DataBlocks implements Controller.
+func (m *mirrorCtrl) DataBlocks() int64 { return m.lay.DataBlocks() }
+
+// Results implements Controller.
+func (m *mirrorCtrl) Results() *Results { return m.baseResults(OrgMirror) }
+
+// nearestRuns picks, per run, the mirror copy with the shorter seek.
+func (m *mirrorCtrl) nearestRuns(lbas []int64) []run {
+	prim := dataRuns(m.lay, lbas)
+	for i := range prim {
+		rn := &prim[i]
+		d0 := m.disks[rn.disk]
+		d1 := m.disks[rn.disk+1] // secondary is always primary+1
+		cyl := m.cfg.Spec.ToCHS(rn.start).Cylinder
+		dist0 := abs(d0.Cylinder() - cyl)
+		dist1 := abs(d1.Cylinder() - cyl)
+		pick1 := dist1 < dist0 || (dist1 == dist0 && d1.QueueLen() < d0.QueueLen())
+		if pick1 {
+			rn.disk++
+		}
+	}
+	return prim
+}
+
+// Submit implements Controller.
+func (m *mirrorCtrl) Submit(r Request) {
+	m.checkRequest(r, m.lay.DataBlocks())
+	start := m.begin()
+	lbas := spanLBAs(r.LBA, r.Blocks)
+	if r.Op == trace.Read {
+		m.readRuns(m.nearestRuns(lbas), r.Blocks, func() { m.finish(r, start) })
+		return
+	}
+	runs := append(dataRuns(m.lay, lbas), altRuns(m.lay, lbas)...)
+	m.buf.Acquire(len(runs), func() {
+		m.chanXfer(r.Blocks, func() {
+			done := newLatch(len(runs), func() {
+				m.buf.Release(len(runs))
+				m.finish(r, start)
+			})
+			for _, rn := range runs {
+				m.disks[rn.disk].Submit(&disk.Request{
+					StartBlock: rn.start, Blocks: rn.blocks, Write: true,
+					Priority: disk.PriNormal, OnDone: done.done,
+				})
+			}
+		})
+	})
+}
+
+// parityCtrl is the non-cached RAID5 or Parity Striping organization.
+type parityCtrl struct {
+	*common
+	lay layout.ParityLayout
+}
+
+// DataBlocks implements Controller.
+func (p *parityCtrl) DataBlocks() int64 { return p.lay.DataBlocks() }
+
+// Results implements Controller.
+func (p *parityCtrl) Results() *Results {
+	if _, ok := p.lay.(*layout.ParityStriping); ok {
+		return p.baseResults(OrgParityStriping)
+	}
+	return p.baseResults(OrgRAID5)
+}
+
+// Submit implements Controller.
+func (p *parityCtrl) Submit(r Request) {
+	p.checkRequest(r, p.lay.DataBlocks())
+	start := p.begin()
+	if r.Op == trace.Read {
+		p.readRuns(dataRunsSpan(p.lay, r.LBA, r.Blocks), r.Blocks, func() { p.finish(r, start) })
+		return
+	}
+	// Small writes read old data and old parity to compute new parity;
+	// full-stripe writes overwrite parity directly. The configured
+	// synchronization policy coordinates the two.
+	plan := planUpdate(p.lay, spanLBAs(r.LBA, r.Blocks), nil)
+	n := plan.totalRuns()
+	p.buf.Acquire(n, func() {
+		p.chanXfer(r.Blocks, func() {
+			p.executeUpdate(plan, updateOpts{
+				policy: p.cfg.Sync,
+				pri:    disk.PriNormal,
+				onDone: func() {
+					p.buf.Release(n)
+					p.finish(r, start)
+				},
+			})
+		})
+	})
+}
+
+func spanLBAs(lba int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lba + int64(i)
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,57 @@
+package array
+
+import (
+	"testing"
+
+	"raidsim/internal/geom"
+	"raidsim/internal/rng"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+func TestRAID4DebugDrain(t *testing.T) {
+	eng := sim.New()
+	cfg := Config{
+		Org: OrgRAID4, N: 10, Spec: geom.Default(),
+		Sync: DF, Cached: true, CacheBlocks: 4096, Seed: 7,
+	}
+	ctrl, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4 := ctrl.(*cachedRAID4)
+	src := rng.New(99)
+	n := 3000
+	capacity := ctrl.DataBlocks()
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 20 * sim.Millisecond
+		op := trace.Read
+		if src.Bool(0.3) {
+			op = trace.Write
+		}
+		lba := src.Int63n(capacity - 64)
+		blocks := 1
+		if src.Bool(0.05) {
+			blocks = 1 + src.Intn(30)
+		}
+		r := Request{Op: op, LBA: lba, Blocks: blocks}
+		eng.At(at, func() { ctrl.Submit(r) })
+	}
+	end := sim.Time(n)*20*sim.Millisecond + 200*sim.Second
+	eng.RunUntil(end)
+	for i := 0; i < 600 && !ctrl.Drained(); i++ {
+		eng.RunFor(sim.Second)
+	}
+	if !ctrl.Drained() {
+		t.Errorf("not drained: inflight=%d", r4.inflight)
+		t.Logf("cache: used=%d/%d len=%d dirty=%d parityPending=%d free=%d",
+			r4.c.Used(), r4.c.Capacity(), r4.c.Len(), r4.c.DirtyCount(),
+			r4.c.ParityPendingCount(), r4.c.FreeSlots())
+		t.Logf("spooling=%v stalled=%d bufFree=%d/%d chanQ=%d",
+			r4.spooling, len(r4.stalled), r4.buf.Free(), r4.buf.Cap(), r4.ch.QueueLen())
+		for i, d := range r4.disks {
+			t.Logf("disk %d: busy=%v q=%d acc=%d", i, d.Busy(), d.QueueLen(), d.S.Accesses)
+		}
+		t.Logf("pending events=%d now=%d", eng.Pending(), eng.Now())
+	}
+}

@@ -1,0 +1,195 @@
+package array
+
+import "raidsim/internal/layout"
+
+// run is a physically contiguous span on one disk, with the logical
+// blocks it carries in order.
+type run struct {
+	disk   int
+	start  int64 // physical block on the disk
+	blocks int
+	lbas   []int64
+}
+
+// dataRunsSpan maps the logical span [lba, lba+n) and merges it into
+// per-disk physically contiguous runs.
+func dataRunsSpan(lay layout.DataLayout, lba int64, n int) []run {
+	lbas := make([]int64, n)
+	for i := range lbas {
+		lbas[i] = lba + int64(i)
+	}
+	return dataRuns(lay, lbas)
+}
+
+// dataRuns maps a list of logical blocks and merges them into per-disk
+// physically contiguous runs, preserving order of first appearance. The
+// input need not be contiguous (destage batches aren't).
+func dataRuns(lay layout.DataLayout, lbas []int64) []run {
+	var out []run
+	for _, l := range lbas {
+		loc := lay.Map(l)
+		merged := false
+		for j := range out {
+			r := &out[j]
+			if r.disk == loc.Disk && loc.Block == r.start+int64(r.blocks) {
+				r.blocks++
+				r.lbas = append(r.lbas, l)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, run{disk: loc.Disk, start: loc.Block, blocks: 1, lbas: []int64{l}})
+		}
+	}
+	return out
+}
+
+// altRuns maps the same logical blocks through the mirror's secondary
+// copies.
+func altRuns(lay layout.MirrorLayout, lbas []int64) []run {
+	var out []run
+	for _, l := range lbas {
+		loc := lay.Alt(l)
+		merged := false
+		for j := range out {
+			r := &out[j]
+			if r.disk == loc.Disk && loc.Block == r.start+int64(r.blocks) {
+				r.blocks++
+				r.lbas = append(r.lbas, l)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, run{disk: loc.Disk, start: loc.Block, blocks: 1, lbas: []int64{l}})
+		}
+	}
+	return out
+}
+
+// parityRun is a contiguous span of parity blocks on one disk, with
+// full-stripe/partial classification: full means every stripe this run
+// protects is entirely overwritten by the batch, so the new parity is
+// computable without reading old data or old parity.
+type parityRun struct {
+	disk   int
+	start  int64
+	blocks int
+	full   bool
+}
+
+// updatePlan is everything needed to apply a batch of block writes to a
+// parity-protected layout.
+type updatePlan struct {
+	dataRuns   []run
+	dataRMW    []bool // per data run: must read old data first
+	parityRuns []parityRun
+	// deps[i] lists indexes of RMW data runs whose old-data reads feed
+	// parity run i.
+	deps [][]int
+}
+
+// planUpdate builds an updatePlan for writing the given logical blocks.
+// hasOld reports whether the pre-write image of a block is already in the
+// controller (cache shadow); nil means never.
+//
+// A data run needs an RMW pass if any of its blocks belongs to a
+// not-fully-covered stripe and lacks an old image. A parity run is "full"
+// only if every parity block in it protects a fully covered stripe.
+// Dependencies connect each partial parity run to the RMW data runs whose
+// stripes it protects.
+func planUpdate(lay layout.ParityLayout, lbas []int64, hasOld func(int64) bool) updatePlan {
+	inBatch := make(map[int64]bool, len(lbas))
+	for _, l := range lbas {
+		inBatch[l] = true
+	}
+	covered := func(l int64) bool {
+		members := lay.StripeMembers(l)
+		if len(members) < lay.StripeWidth() {
+			return false
+		}
+		for _, m := range members {
+			if !inBatch[m] {
+				return false
+			}
+		}
+		return true
+	}
+
+	plan := updatePlan{dataRuns: dataRuns(lay, lbas)}
+	// Which parity locations does each data run touch, and is the block's
+	// stripe covered?
+	type pinfo struct {
+		loc     layout.Loc
+		full    bool
+		feeders map[int]bool // indexes of RMW data runs
+	}
+	var parities []*pinfo
+	pindex := make(map[layout.Loc]*pinfo)
+
+	plan.dataRMW = make([]bool, len(plan.dataRuns))
+	for ri, r := range plan.dataRuns {
+		for _, l := range r.lbas {
+			cov := covered(l)
+			if !cov && (hasOld == nil || !hasOld(l)) {
+				plan.dataRMW[ri] = true
+			}
+			p := lay.Parity(l)
+			pi := pindex[p]
+			if pi == nil {
+				pi = &pinfo{loc: p, full: true, feeders: make(map[int]bool)}
+				pindex[p] = pi
+				parities = append(parities, pi)
+			}
+			if !cov {
+				pi.full = false
+				pi.feeders[ri] = true
+			}
+		}
+	}
+
+	// Merge parity blocks into contiguous same-class runs and union their
+	// feeder sets, keeping only feeders that are actually RMW runs.
+	for _, pi := range parities {
+		merged := false
+		for i := range plan.parityRuns {
+			pr := &plan.parityRuns[i]
+			if pr.disk == pi.loc.Disk && pi.loc.Block == pr.start+int64(pr.blocks) && pr.full == pi.full {
+				pr.blocks++
+				for f := range pi.feeders {
+					if plan.dataRMW[f] {
+						plan.deps[i] = appendUnique(plan.deps[i], f)
+					}
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			plan.parityRuns = append(plan.parityRuns, parityRun{
+				disk: pi.loc.Disk, start: pi.loc.Block, blocks: 1, full: pi.full,
+			})
+			var d []int
+			for f := range pi.feeders {
+				if plan.dataRMW[f] {
+					d = appendUnique(d, f)
+				}
+			}
+			plan.deps = append(plan.deps, d)
+		}
+	}
+	return plan
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// totalRuns returns the number of disk accesses the plan will issue.
+func (p *updatePlan) totalRuns() int { return len(p.dataRuns) + len(p.parityRuns) }

@@ -1,0 +1,144 @@
+package array
+
+import (
+	"raidsim/internal/disk"
+	"raidsim/internal/sim"
+)
+
+// updateOpts controls how an updatePlan is executed.
+type updateOpts struct {
+	policy  SyncPolicy
+	pri     disk.Priority // priority of data accesses (and non-/PR parity)
+	stagger sim.Time      // spacing between successive data-run issues
+	// parityIssuer, when non-nil, replaces the default parity disk access
+	// (RAID4 spools parity into the cache instead). It must call done
+	// exactly once; ready reports whether all old-data inputs are read.
+	parityIssuer func(pr parityRun, ready func() bool, done func())
+	// onDataDone, when non-nil, fires once all data runs complete —
+	// before parity necessarily does. RAID4 releases its track buffers
+	// here, since spooled parity needs cache slots, not buffers.
+	onDataDone func()
+	onDone     func()
+}
+
+// executeUpdate applies a batch of writes plus their parity updates to the
+// array, honoring the configured data/parity synchronization policy:
+//
+//   - SI    parity issued immediately; the parity disk holds rotations
+//     until the old data has been read.
+//   - RF    parity issued once all its old-data reads complete.
+//   - DF    parity issued once its feeding data accesses have acquired
+//     their disks; held rotations absorb any remaining skew.
+//   - /PR   variants give the parity access queue priority.
+//
+// Full-stripe parity runs and parity runs whose old data is already in
+// the controller have no feeders and are issued immediately regardless of
+// policy.
+func (c *common) executeUpdate(plan updatePlan, o updateOpts) {
+	nd, np := len(plan.dataRuns), len(plan.parityRuns)
+	dataDone := o.onDataDone
+	if dataDone == nil {
+		dataDone = func() {}
+	}
+	all := newLatch(nd+np, o.onDone)
+	dl := newLatch(nd, dataDone)
+	if nd+np == 0 {
+		return
+	}
+
+	readsLeft := make([]int, np)  // pending old-data reads per parity run
+	startsLeft := make([]int, np) // pending data-run starts per parity run
+	issued := make([]bool, np)
+	for i, d := range plan.deps {
+		readsLeft[i] = len(d)
+		startsLeft[i] = len(d)
+	}
+
+	parityPri := o.pri
+	if o.policy.priority() {
+		parityPri = disk.PriHigh
+	}
+
+	issueParity := func(i int) {
+		if issued[i] {
+			return
+		}
+		issued[i] = true
+		pr := plan.parityRuns[i]
+		ready := func() bool { return readsLeft[i] == 0 }
+		if o.parityIssuer != nil {
+			o.parityIssuer(pr, ready, all.done)
+			return
+		}
+		c.parityAccesses++
+		req := &disk.Request{
+			StartBlock: pr.start,
+			Blocks:     pr.blocks,
+			Write:      true,
+			Priority:   parityPri,
+			OnDone:     all.done,
+		}
+		if !pr.full {
+			req.RMW = true
+			req.Ready = ready
+		}
+		c.disks[pr.disk].Submit(req)
+	}
+
+	// Parity runs with no feeders are unconstrained by the policy.
+	for i := range plan.parityRuns {
+		if readsLeft[i] == 0 {
+			issueParity(i)
+		} else if o.policy == SI {
+			issueParity(i)
+		}
+	}
+
+	// Reverse maps: data run -> parity runs it feeds.
+	feeds := make([][]int, nd)
+	for pi, d := range plan.deps {
+		for _, ri := range d {
+			feeds[ri] = append(feeds[ri], pi)
+		}
+	}
+
+	for ri := range plan.dataRuns {
+		ri := ri
+		r := plan.dataRuns[ri]
+		req := &disk.Request{
+			StartBlock: r.start,
+			Blocks:     r.blocks,
+			Write:      true,
+			Priority:   o.pri,
+			OnDone:     func() { dl.done(); all.done() },
+		}
+		if plan.dataRMW[ri] {
+			req.RMW = true // new data is in the controller; no Ready gate
+			req.OnStart = func() {
+				if !o.policy.diskFirst() {
+					return
+				}
+				for _, pi := range feeds[ri] {
+					startsLeft[pi]--
+					if startsLeft[pi] == 0 {
+						issueParity(pi)
+					}
+				}
+			}
+			req.OnReadDone = func() {
+				for _, pi := range feeds[ri] {
+					readsLeft[pi]--
+					if readsLeft[pi] == 0 && (o.policy == RF || o.policy == RFPR) {
+						issueParity(pi)
+					}
+				}
+			}
+		}
+		if o.stagger > 0 && ri > 0 {
+			delay := o.stagger * sim.Time(ri)
+			c.eng.After(delay, func() { c.disks[r.disk].Submit(req) })
+		} else {
+			c.disks[r.disk].Submit(req)
+		}
+	}
+}

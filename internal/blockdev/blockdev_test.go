@@ -1,0 +1,221 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"raidsim/internal/layout"
+	"raidsim/internal/rng"
+)
+
+func fill(src *rng.Source, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(src.Uint64())
+	}
+	return b
+}
+
+func layouts() map[string]layout.ParityLayout {
+	return map[string]layout.ParityLayout{
+		"raid5-su1":  layout.NewRAID5(4, 40, 1),
+		"raid5-su4":  layout.NewRAID5(3, 40, 4),
+		"raid4":      layout.NewRAID4(4, 40, 2),
+		"pstripe":    layout.NewParityStriping(4, 40, layout.MiddlePlacement, 0),
+		"pstripe-fg": layout.NewParityStriping(4, 40, layout.EndPlacement, 2),
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	for name, lay := range layouts() {
+		t.Run(name, func(t *testing.T) {
+			s := New(lay, 64)
+			src := rng.New(1)
+			want := map[int64][]byte{}
+			for i := 0; i < 50; i++ {
+				lba := src.Int63n(s.Capacity())
+				data := fill(src, 64)
+				if err := s.Write(lba, data); err != nil {
+					t.Fatal(err)
+				}
+				want[lba] = data
+			}
+			for lba, data := range want {
+				got, err := s.Read(lba)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("lba %d: data corrupted", lba)
+				}
+			}
+			if err := s.VerifyParity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	s := New(layout.NewRAID5(3, 20, 1), 16)
+	got, err := s.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestDegradedReadReconstructs(t *testing.T) {
+	for name, lay := range layouts() {
+		t.Run(name, func(t *testing.T) {
+			s := New(lay, 32)
+			src := rng.New(2)
+			want := map[int64][]byte{}
+			for i := 0; i < 80; i++ {
+				lba := src.Int63n(s.Capacity())
+				data := fill(src, 32)
+				if err := s.Write(lba, data); err != nil {
+					t.Fatal(err)
+				}
+				want[lba] = data
+			}
+			if err := s.FailDisk(1); err != nil {
+				t.Fatal(err)
+			}
+			for lba, data := range want {
+				got, err := s.Read(lba)
+				if err != nil {
+					t.Fatalf("lba %d: %v", lba, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("lba %d: reconstruction wrong", lba)
+				}
+			}
+			if s.Reconstructions == 0 {
+				t.Fatal("no reconstructions recorded; disk 1 held no data?")
+			}
+		})
+	}
+}
+
+func TestRebuildRestoresDisk(t *testing.T) {
+	for name, lay := range layouts() {
+		t.Run(name, func(t *testing.T) {
+			s := New(lay, 32)
+			src := rng.New(3)
+			want := map[int64][]byte{}
+			for i := 0; i < 80; i++ {
+				lba := src.Int63n(s.Capacity())
+				data := fill(src, 32)
+				if err := s.Write(lba, data); err != nil {
+					t.Fatal(err)
+				}
+				want[lba] = data
+			}
+			if err := s.FailDisk(2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Rebuild(2); err != nil {
+				t.Fatal(err)
+			}
+			if len(s.FailedDisks()) != 0 {
+				t.Fatal("disk still failed after rebuild")
+			}
+			if err := s.VerifyParity(); err != nil {
+				t.Fatalf("parity broken after rebuild: %v", err)
+			}
+			for lba, data := range want {
+				got, err := s.Read(lba)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("lba %d corrupted by rebuild", lba)
+				}
+			}
+			// Writes work again, including to the rebuilt disk.
+			for i := 0; i < 20; i++ {
+				lba := src.Int63n(s.Capacity())
+				if err := s.Write(lba, fill(src, 32)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.VerifyParity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDoubleFailureDetected(t *testing.T) {
+	s := New(layout.NewRAID5(4, 40, 1), 16)
+	src := rng.New(4)
+	for i := int64(0); i < 40; i++ {
+		if err := s.Write(i, fill(src, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	anyErr := false
+	for i := int64(0); i < 40; i++ {
+		if _, err := s.Read(i); err != nil {
+			anyErr = true
+		}
+	}
+	if !anyErr {
+		t.Fatal("double failure never surfaced")
+	}
+	if _, err := s.Rebuild(0); err == nil {
+		t.Fatal("rebuild with a second failed disk should error")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	s := New(layout.NewRAID5(3, 20, 1), 16)
+	if err := s.Write(0, make([]byte, 5)); err == nil {
+		t.Fatal("short write accepted")
+	}
+	if err := s.Write(-1, make([]byte, 16)); err == nil {
+		t.Fatal("negative lba accepted")
+	}
+	if err := s.Write(s.Capacity(), make([]byte, 16)); err == nil {
+		t.Fatal("out-of-range lba accepted")
+	}
+	if err := s.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(0); err == nil {
+		t.Fatal("double fail of same disk accepted")
+	}
+	if err := s.FailDisk(99); err == nil {
+		t.Fatal("bad disk index accepted")
+	}
+}
+
+// TestQuickParityAlwaysConsistent: arbitrary write sequences keep parity
+// consistent under every layout.
+func TestQuickParityAlwaysConsistent(t *testing.T) {
+	lay := layout.NewRAID5(3, 30, 2)
+	f := func(seed uint64) bool {
+		s := New(lay, 8)
+		src := rng.New(seed)
+		for i := 0; i < 60; i++ {
+			lba := src.Int63n(s.Capacity())
+			if err := s.Write(lba, fill(src, 8)); err != nil {
+				return false
+			}
+		}
+		return s.VerifyParity() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package cache models the non-volatile controller cache of the paper's
+// cached organizations (section 3.4): a write-back LRU block cache that,
+// for parity organizations, also retains the pre-write image of modified
+// blocks (so destage can compute parity without re-reading old data) and,
+// for RAID4 with parity caching, buffers pending parity updates destined
+// for the dedicated parity disk.
+//
+// The cache is pure bookkeeping — all timing lives in the array
+// controllers that drive it.
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config sizes and configures a cache.
+type Config struct {
+	// Blocks is the capacity in cache block slots. Old-data shadows and
+	// pending parity blocks occupy slots too.
+	Blocks int
+	// KeepOldData retains the pre-write image when a clean cached block
+	// is first modified (parity organizations).
+	KeepOldData bool
+	// ParityReserve caps pending-parity occupancy at Blocks-ParityReserve
+	// so the parity spool can fill "most of the cache" (paper, section
+	// 4.4.3) without starving data entirely.
+	ParityReserve int
+}
+
+// Entry describes a cached data block.
+type Entry struct {
+	LBA       int64
+	Dirty     bool
+	HasOld    bool // an old-data shadow slot is held for this block
+	Destaging bool // a write-back is in flight
+	redirtied bool // written again while the write-back was in flight
+
+	prev, next *Entry // LRU list, most recent at head
+}
+
+// Stats counts cache-internal events.
+type Stats struct {
+	Inserts        int64
+	Evictions      int64
+	DirtyEvictions int64
+	OldCaptured    int64
+	OldSkipped     int64 // shadow capture skipped because the cache was full
+	Destages       int64
+	ParityQueued   int64
+	ParityStalls   int64 // parity admission failed for lack of space
+	PeakUsed       int
+	PeakParity     int
+}
+
+// Cache is a fixed-capacity write-back LRU block cache.
+type Cache struct {
+	cfg  Config
+	m    map[int64]*Entry
+	head *Entry // MRU
+	tail *Entry // LRU
+	used int    // slots: entries + old shadows + pending parity
+
+	parity map[ParityKey]bool
+	S      Stats
+}
+
+// ParityKey identifies a pending parity block by its physical location.
+type ParityKey struct {
+	Disk  int
+	Block int64
+}
+
+// New returns an empty cache. It panics on a non-positive capacity.
+func New(cfg Config) *Cache {
+	if cfg.Blocks <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	if cfg.ParityReserve < 0 || cfg.ParityReserve >= cfg.Blocks {
+		cfg.ParityReserve = cfg.Blocks / 16
+	}
+	return &Cache{
+		cfg:    cfg,
+		m:      make(map[int64]*Entry),
+		parity: make(map[ParityKey]bool),
+	}
+}
+
+// Capacity returns the slot capacity.
+func (c *Cache) Capacity() int { return c.cfg.Blocks }
+
+// Used returns occupied slots (entries + shadows + pending parity).
+func (c *Cache) Used() int { return c.used }
+
+// Len returns the number of cached data blocks.
+func (c *Cache) Len() int { return len(c.m) }
+
+// ParityPendingCount returns the number of buffered parity updates.
+func (c *Cache) ParityPendingCount() int { return len(c.parity) }
+
+// Contains reports whether lba is cached, without touching LRU order.
+func (c *Cache) Contains(lba int64) bool {
+	_, ok := c.m[lba]
+	return ok
+}
+
+// Lookup returns the entry for lba without touching LRU order.
+func (c *Cache) Lookup(lba int64) *Entry { return c.m[lba] }
+
+func (c *Cache) bumpUsed(delta int) {
+	c.used += delta
+	if c.used < 0 {
+		panic("cache: negative occupancy")
+	}
+	if c.used > c.S.PeakUsed {
+		c.S.PeakUsed = c.used
+	}
+	if c.used > c.cfg.Blocks {
+		panic(fmt.Sprintf("cache: occupancy %d exceeds capacity %d", c.used, c.cfg.Blocks))
+	}
+}
+
+func (c *Cache) unlink(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *Entry) {
+	e.next = c.head
+	e.prev = nil
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Touch moves lba to MRU if present and reports whether it was cached.
+func (c *Cache) Touch(lba int64) bool {
+	e, ok := c.m[lba]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	return true
+}
+
+// MarkDirty records a write hit on a cached block: the entry becomes
+// dirty and moves to MRU. On the first modification of a clean block,
+// a shadow slot for the old image is captured when KeepOldData is set
+// and space allows; destage uses it to avoid re-reading old data.
+// It panics if the block is absent (callers check with Contains/Touch).
+func (c *Cache) MarkDirty(lba int64) {
+	e, ok := c.m[lba]
+	if !ok {
+		panic(fmt.Sprintf("cache: MarkDirty of uncached block %d", lba))
+	}
+	if e.Destaging {
+		// Written again while its write-back is in flight: it must stay
+		// dirty when the write-back lands.
+		e.redirtied = true
+		e.Dirty = true
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	if !e.Dirty && c.cfg.KeepOldData && !e.HasOld {
+		if c.used < c.cfg.Blocks {
+			e.HasOld = true
+			c.bumpUsed(1)
+			c.S.OldCaptured++
+		} else {
+			c.S.OldSkipped++
+		}
+	}
+	e.Dirty = true
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// FreeSlots returns capacity not currently occupied.
+func (c *Cache) FreeSlots() int { return c.cfg.Blocks - c.used }
+
+// Insert adds an uncached block at MRU. The caller must have made room
+// (FreeSlots() > 0); inserting over capacity panics.
+func (c *Cache) Insert(lba int64, dirty bool) *Entry {
+	if _, ok := c.m[lba]; ok {
+		panic(fmt.Sprintf("cache: duplicate insert of block %d", lba))
+	}
+	c.bumpUsed(1)
+	e := &Entry{LBA: lba, Dirty: dirty}
+	c.m[lba] = e
+	c.pushFront(e)
+	c.S.Inserts++
+	return e
+}
+
+// Victim returns the least recently used entry that is not mid-destage,
+// or nil if none qualifies.
+func (c *Cache) Victim() *Entry {
+	for e := c.tail; e != nil; e = e.prev {
+		if !e.Destaging {
+			return e
+		}
+	}
+	return nil
+}
+
+// CleanVictim returns the least recently used clean, not-mid-destage
+// entry, or nil. Dropping it frees a slot without any disk I/O.
+func (c *Cache) CleanVictim() *Entry {
+	for e := c.tail; e != nil; e = e.prev {
+		if !e.Destaging && !e.Dirty {
+			return e
+		}
+	}
+	return nil
+}
+
+// Drop removes an entry, releasing its slot and any shadow slot.
+func (c *Cache) Drop(lba int64) {
+	e, ok := c.m[lba]
+	if !ok {
+		panic(fmt.Sprintf("cache: dropping uncached block %d", lba))
+	}
+	c.unlink(e)
+	delete(c.m, lba)
+	n := 1
+	if e.HasOld {
+		n++
+	}
+	c.bumpUsed(-n)
+	c.S.Evictions++
+}
+
+// NoteDirtyEviction records that an eviction had to write its victim back
+// first. Controllers call it from their room-making path (by the time the
+// victim is dropped it has already been cleaned, so Drop can't see it).
+func (c *Cache) NoteDirtyEviction() { c.S.DirtyEvictions++ }
+
+// BeginDestage marks a dirty block as having a write-back in flight, so
+// it is not picked as a victim and not re-destaged.
+func (c *Cache) BeginDestage(lba int64) {
+	e, ok := c.m[lba]
+	if !ok || !e.Dirty || e.Destaging {
+		panic(fmt.Sprintf("cache: BeginDestage of block %d in wrong state", lba))
+	}
+	e.Destaging = true
+}
+
+// CompleteDestage marks the write-back done: the block becomes clean and
+// its old-data shadow (if any) is released. The block stays cached.
+func (c *Cache) CompleteDestage(lba int64) {
+	e, ok := c.m[lba]
+	if !ok || !e.Destaging {
+		panic(fmt.Sprintf("cache: CompleteDestage of block %d in wrong state", lba))
+	}
+	e.Destaging = false
+	if e.redirtied {
+		// The concurrent write keeps the block dirty; its old image is
+		// now the version just written, which we no longer hold, so the
+		// shadow (if any) is released and the next destage reads old
+		// data from disk.
+		e.redirtied = false
+	} else {
+		e.Dirty = false
+	}
+	if e.HasOld {
+		e.HasOld = false
+		c.bumpUsed(-1)
+	}
+	c.S.Destages++
+}
+
+// DirtyNotDestaging returns the LBAs of dirty blocks with no write-back
+// in flight, sorted ascending — the destage scan's candidate set.
+func (c *Cache) DirtyNotDestaging() []int64 {
+	var out []int64
+	for lba, e := range c.m {
+		if e.Dirty && !e.Destaging {
+			out = append(out, lba)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyCount returns the number of dirty blocks (in flight or not).
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for _, e := range c.m {
+		if e.Dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingParity is a buffered parity update. Full means the complete new
+// parity is known (a fully overwritten stripe), so applying it needs no
+// old-parity read; otherwise the buffered value is the XOR of old and new
+// data and the parity disk must read-modify-write.
+type PendingParity struct {
+	Key  ParityKey
+	Full bool
+}
+
+// AddParityPending buffers a parity update for the given physical parity
+// block. It reports false — a stall, per section 4.4 — when the parity
+// spool may not grow further. Duplicate keys coalesce (the update is an
+// XOR accumulation; a full image absorbs later deltas) and always succeed.
+func (c *Cache) AddParityPending(k ParityKey, full bool) bool {
+	if old, ok := c.parity[k]; ok {
+		c.parity[k] = old || full
+		return true
+	}
+	if len(c.parity) >= c.cfg.Blocks-c.cfg.ParityReserve || c.used >= c.cfg.Blocks {
+		c.S.ParityStalls++
+		return false
+	}
+	c.parity[k] = full
+	c.bumpUsed(1)
+	c.S.ParityQueued++
+	if len(c.parity) > c.S.PeakParity {
+		c.S.PeakParity = len(c.parity)
+	}
+	return true
+}
+
+// HasParityPending reports whether the key is buffered.
+func (c *Cache) HasParityPending(k ParityKey) bool {
+	_, ok := c.parity[k]
+	return ok
+}
+
+// RemoveParityPending releases a buffered parity update's slot.
+func (c *Cache) RemoveParityPending(k ParityKey) {
+	if _, ok := c.parity[k]; !ok {
+		panic(fmt.Sprintf("cache: removing absent parity update %+v", k))
+	}
+	delete(c.parity, k)
+	c.bumpUsed(-1)
+}
+
+// ParityPending returns the buffered parity updates sorted by (disk,
+// block) — the order a SCAN sweep of the parity disk visits them.
+func (c *Cache) ParityPending() []PendingParity {
+	out := make([]PendingParity, 0, len(c.parity))
+	for k, full := range c.parity {
+		out = append(out, PendingParity{Key: k, Full: full})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Disk != out[j].Key.Disk {
+			return out[i].Key.Disk < out[j].Key.Disk
+		}
+		return out[i].Key.Block < out[j].Key.Block
+	})
+	return out
+}

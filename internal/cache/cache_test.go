@@ -1,0 +1,304 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"raidsim/internal/rng"
+)
+
+func newCache(blocks int, keepOld bool) *Cache {
+	return New(Config{Blocks: blocks, KeepOldData: keepOld, ParityReserve: 2})
+}
+
+func TestBasicLRU(t *testing.T) {
+	c := newCache(3, false)
+	c.Insert(1, false)
+	c.Insert(2, false)
+	c.Insert(3, false)
+	if c.Used() != 3 || c.FreeSlots() != 0 {
+		t.Fatalf("used %d free %d", c.Used(), c.FreeSlots())
+	}
+	// Touch 1: LRU victim becomes 2.
+	if !c.Touch(1) {
+		t.Fatal("touch miss")
+	}
+	if v := c.Victim(); v.LBA != 2 {
+		t.Fatalf("victim %d, want 2", v.LBA)
+	}
+	c.Drop(2)
+	if c.Contains(2) || c.Used() != 2 {
+		t.Fatal("drop failed")
+	}
+	if c.Touch(99) {
+		t.Fatal("touch of absent block succeeded")
+	}
+}
+
+func TestDirtyLifecycle(t *testing.T) {
+	c := newCache(4, false)
+	c.Insert(7, false)
+	c.MarkDirty(7)
+	if e := c.Lookup(7); !e.Dirty {
+		t.Fatal("not dirty after MarkDirty")
+	}
+	if got := c.DirtyNotDestaging(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("dirty list %v", got)
+	}
+	c.BeginDestage(7)
+	if got := c.DirtyNotDestaging(); len(got) != 0 {
+		t.Fatalf("destaging block still listed: %v", got)
+	}
+	if v := c.Victim(); v != nil {
+		t.Fatalf("destaging block offered as victim: %d", v.LBA)
+	}
+	c.CompleteDestage(7)
+	e := c.Lookup(7)
+	if e.Dirty || e.Destaging {
+		t.Fatal("destage did not clean the block")
+	}
+	if c.S.Destages != 1 {
+		t.Fatalf("destage count %d", c.S.Destages)
+	}
+}
+
+func TestRedirtyDuringDestage(t *testing.T) {
+	c := newCache(4, false)
+	c.Insert(7, true)
+	c.BeginDestage(7)
+	c.MarkDirty(7) // written again while the write-back is in flight
+	c.CompleteDestage(7)
+	e := c.Lookup(7)
+	if !e.Dirty {
+		t.Fatal("redirtied block lost its dirty bit when the destage landed")
+	}
+	if e.Destaging {
+		t.Fatal("still marked destaging")
+	}
+	// And it can be destaged again.
+	c.BeginDestage(7)
+	c.CompleteDestage(7)
+	if c.Lookup(7).Dirty {
+		t.Fatal("second destage failed")
+	}
+}
+
+func TestOldDataShadows(t *testing.T) {
+	c := newCache(4, true)
+	c.Insert(1, false)
+	c.MarkDirty(1) // clean -> dirty: shadow captured
+	if !c.Lookup(1).HasOld {
+		t.Fatal("no shadow captured")
+	}
+	if c.Used() != 2 {
+		t.Fatalf("used %d, want 2 (entry + shadow)", c.Used())
+	}
+	c.MarkDirty(1) // second write: no second shadow
+	if c.Used() != 2 {
+		t.Fatalf("used %d after second write", c.Used())
+	}
+	if c.S.OldCaptured != 1 {
+		t.Fatalf("captured %d", c.S.OldCaptured)
+	}
+	c.BeginDestage(1)
+	c.CompleteDestage(1)
+	e := c.Lookup(1)
+	if e.HasOld || c.Used() != 1 {
+		t.Fatal("destage did not release the shadow")
+	}
+}
+
+func TestShadowSkippedWhenFull(t *testing.T) {
+	c := newCache(2, true)
+	c.Insert(1, false)
+	c.Insert(2, false)
+	c.MarkDirty(1) // full: no room for the shadow
+	if c.Lookup(1).HasOld {
+		t.Fatal("shadow captured in a full cache")
+	}
+	if c.S.OldSkipped != 1 {
+		t.Fatalf("skip count %d", c.S.OldSkipped)
+	}
+}
+
+func TestDirtyWriteMissHasNoShadow(t *testing.T) {
+	c := newCache(4, true)
+	c.Insert(9, true) // write miss: inserted dirty, no old image known
+	if c.Lookup(9).HasOld {
+		t.Fatal("write-miss block should have no shadow")
+	}
+	if c.Used() != 1 {
+		t.Fatalf("used %d", c.Used())
+	}
+}
+
+func TestCleanVictim(t *testing.T) {
+	c := newCache(3, false)
+	c.Insert(1, true)
+	c.Insert(2, false)
+	c.Insert(3, true)
+	if v := c.CleanVictim(); v == nil || v.LBA != 2 {
+		t.Fatalf("clean victim %v", v)
+	}
+	c.Drop(2)
+	if v := c.CleanVictim(); v != nil {
+		t.Fatalf("clean victim in all-dirty cache: %d", v.LBA)
+	}
+}
+
+func TestParityPending(t *testing.T) {
+	c := newCache(6, true)
+	k1 := ParityKey{Disk: 10, Block: 5}
+	k2 := ParityKey{Disk: 10, Block: 2}
+	if !c.AddParityPending(k1, false) || !c.AddParityPending(k2, true) {
+		t.Fatal("admission failed with space available")
+	}
+	if c.Used() != 2 || c.ParityPendingCount() != 2 {
+		t.Fatalf("used %d pending %d", c.Used(), c.ParityPendingCount())
+	}
+	// Coalescing: duplicate key keeps one slot; full flag is sticky.
+	if !c.AddParityPending(k1, true) {
+		t.Fatal("coalescing add failed")
+	}
+	if c.ParityPendingCount() != 2 {
+		t.Fatal("duplicate consumed a slot")
+	}
+	pend := c.ParityPending()
+	if pend[0].Key != k2 || pend[1].Key != k1 {
+		t.Fatalf("SCAN order wrong: %v", pend)
+	}
+	if !pend[1].Full {
+		t.Fatal("full flag not sticky across coalescing")
+	}
+	c.RemoveParityPending(k1)
+	if c.Used() != 1 {
+		t.Fatalf("used %d after removal", c.Used())
+	}
+	if c.HasParityPending(k1) {
+		t.Fatal("removed key still pending")
+	}
+}
+
+func TestParityAdmissionStall(t *testing.T) {
+	c := New(Config{Blocks: 4, KeepOldData: true, ParityReserve: 2})
+	// Parity may occupy at most Blocks - ParityReserve = 2 slots.
+	if !c.AddParityPending(ParityKey{0, 1}, false) {
+		t.Fatal("first admission failed")
+	}
+	if !c.AddParityPending(ParityKey{0, 2}, false) {
+		t.Fatal("second admission failed")
+	}
+	if c.AddParityPending(ParityKey{0, 3}, false) {
+		t.Fatal("third admission should stall at the reserve limit")
+	}
+	if c.S.ParityStalls != 1 {
+		t.Fatalf("stall count %d", c.S.ParityStalls)
+	}
+	// A full cache also stalls admission even under the parity cap.
+	c2 := New(Config{Blocks: 4, KeepOldData: true, ParityReserve: 1})
+	for i := int64(0); i < 4; i++ {
+		c2.Insert(i, false)
+	}
+	if c2.AddParityPending(ParityKey{0, 9}, false) {
+		t.Fatal("admission into a full cache should stall")
+	}
+}
+
+func TestAccountingPanics(t *testing.T) {
+	cases := []func(c *Cache){
+		func(c *Cache) { c.MarkDirty(42) },                        // absent
+		func(c *Cache) { c.Insert(1, false); c.Insert(1, false) }, // duplicate
+		func(c *Cache) { c.Drop(42) },                             // absent
+		func(c *Cache) { c.BeginDestage(42) },                     // absent
+		func(c *Cache) { c.Insert(1, false); c.BeginDestage(1) },  // clean
+		func(c *Cache) { c.CompleteDestage(42) },                  // absent
+		func(c *Cache) { c.RemoveParityPending(ParityKey{1, 1}) },
+		func(c *Cache) { // over capacity
+			c.Insert(1, false)
+			c.Insert(2, false)
+			c.Insert(3, false)
+			c.Insert(4, false)
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f(newCache(3, true))
+		}()
+	}
+}
+
+// TestQuickOccupancyInvariant drives the cache with random operations and
+// checks that used slots always equal entries + shadows + pending parity
+// and never exceed capacity.
+func TestQuickOccupancyInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		c := New(Config{Blocks: 16, KeepOldData: true, ParityReserve: 4})
+		inCache := map[int64]bool{}
+		destaging := map[int64]bool{}
+		pending := map[ParityKey]bool{}
+		for op := 0; op < 500; op++ {
+			lba := int64(src.Intn(40))
+			switch src.Intn(6) {
+			case 0: // insert
+				if !inCache[lba] && c.FreeSlots() > 0 {
+					c.Insert(lba, src.Bool(0.5))
+					inCache[lba] = true
+				}
+			case 1: // write hit
+				if inCache[lba] {
+					c.MarkDirty(lba)
+				}
+			case 2: // drop a victim
+				if v := c.Victim(); v != nil && !v.Dirty {
+					delete(inCache, v.LBA)
+					c.Drop(v.LBA)
+				}
+			case 3: // begin destage
+				if e := c.Lookup(lba); e != nil && e.Dirty && !e.Destaging {
+					c.BeginDestage(lba)
+					destaging[lba] = true
+				}
+			case 4: // complete destage
+				for l := range destaging {
+					c.CompleteDestage(l)
+					delete(destaging, l)
+					break
+				}
+			case 5: // parity traffic
+				k := ParityKey{Disk: 0, Block: int64(src.Intn(10))}
+				if src.Bool(0.5) {
+					if c.AddParityPending(k, src.Bool(0.3)) {
+						pending[k] = true
+					}
+				} else if pending[k] {
+					c.RemoveParityPending(k)
+					delete(pending, k)
+				}
+			}
+			// Invariant.
+			shadows := 0
+			for l := range inCache {
+				if e := c.Lookup(l); e != nil && e.HasOld {
+					shadows++
+				}
+			}
+			want := len(inCache) + shadows + c.ParityPendingCount()
+			if c.Used() != want || c.Used() > c.Capacity() {
+				return false
+			}
+			if c.Len() != len(inCache) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

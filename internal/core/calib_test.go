@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"raidsim/internal/array"
+	"raidsim/internal/geom"
+	"raidsim/internal/trace"
+	"raidsim/internal/workload"
+)
+
+// TestCalibrationProbe is a diagnostic aid (run with -v): it prints the
+// generated traces' Table 2 characteristics and the headline comparisons
+// the paper makes, at reduced scale.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe is slow")
+	}
+	for _, p := range []workload.Profile{
+		workload.Trace1Profile().Scaled(0.10),
+		workload.Trace2Profile().Scaled(1.0),
+	} {
+		tr, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", trace.Characterize(tr))
+
+		for _, c := range []struct {
+			name   string
+			org    array.Org
+			cached bool
+		}{
+			{"base", array.OrgBase, false},
+			{"mirror", array.OrgMirror, false},
+			{"raid5", array.OrgRAID5, false},
+			{"pstripe", array.OrgParityStriping, false},
+			{"raid5-c16", array.OrgRAID5, true},
+			{"base-c16", array.OrgBase, true},
+			{"raid4-c16", array.OrgRAID4, true},
+		} {
+			cfg := Config{
+				Org: c.org, DataDisks: p.NumDisks, N: 10,
+				Spec: geom.Default(), Sync: array.DF,
+				Cached: c.cached, CacheMB: 16, Seed: 1,
+			}
+			t0 := time.Now()
+			res, err := Run(cfg, tr)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			var usum, umax float64
+			for _, u := range res.DiskUtil {
+				usum += u
+				if u > umax {
+					umax = u
+				}
+			}
+			t.Logf("%-10s %-9s resp=%7.2fms read=%7.2f write=%7.2f rhit=%.3f whit=%.3f seek=%5.0fcyl util=%.3f/%.3f held=%d wall=%v",
+				p.Name, c.name, res.MeanResponseMS(), res.ReadResp.Mean(), res.WriteResp.Mean(),
+				res.ReadHitRatio(), res.WriteHitRatio(), res.SeekDistMean,
+				usum/float64(len(res.DiskUtil)), umax, res.HeldRotations, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+}

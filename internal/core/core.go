@@ -1,0 +1,319 @@
+// Package core is the public façade of the simulator: it takes a system
+// configuration (organization, array size, caching, ...) and an I/O
+// trace, partitions the trace across the system's independent arrays,
+// simulates every array — in parallel, arrays share nothing but the
+// workload — and aggregates the results the paper's figures report.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"raidsim/internal/array"
+	"raidsim/internal/cache"
+	"raidsim/internal/disk"
+	"raidsim/internal/geom"
+	"raidsim/internal/layout"
+	"raidsim/internal/sim"
+	"raidsim/internal/stats"
+	"raidsim/internal/trace"
+)
+
+// Config describes a whole storage system: DataDisks' worth of database
+// spread over ceil(DataDisks/N) arrays of the chosen organization. The
+// comparisons are equal-capacity, as in the paper: Mirror doubles the
+// drives, parity organizations use N+1 drives per array.
+type Config struct {
+	Org       array.Org
+	DataDisks int // total data-disk equivalents (130 for Trace 1, 10 for Trace 2)
+	N         int // data-disk equivalents per array
+	Spec      geom.Spec
+
+	StripingUnit     int              // RAID5/RAID4 striping unit, blocks
+	Placement        layout.Placement // parity striping: parity area placement
+	ParityStripeUnit int64            // fine-grained parity striping unit; 0 = classic
+	Sync             array.SyncPolicy
+
+	Cached           bool
+	CacheMB          int // per-array NV cache size
+	DestagePeriod    sim.Time
+	PureLRUWriteback bool
+	// Warmup excludes requests arriving before this time from the
+	// statistics (still simulated), for steady-state measurement.
+	Warmup sim.Time
+
+	BuffersPerDisk int
+	// DiskSched selects the drives' queue discipline (FIFO is the
+	// paper's model; SSTF/LOOK are extensions).
+	DiskSched disk.Sched
+	// SyncSpindles synchronizes all spindles' rotational phase (the
+	// paper assumes unsynchronized spindles).
+	SyncSpindles bool
+	Seed         uint64
+
+	// Workers caps concurrent array simulations; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DataDisks <= 0 {
+		return fmt.Errorf("core: DataDisks must be positive")
+	}
+	if c.N < 2 {
+		return fmt.Errorf("core: N must be >= 2")
+	}
+	// N may exceed DataDisks: the paper sweeps array sizes past the
+	// small system's 10 data disks, striping the same database over a
+	// wider (partly empty) array.
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Arrays returns the number of arrays the system needs.
+func (c Config) Arrays() int { return (c.DataDisks + c.N - 1) / c.N }
+
+// PhysicalDisks returns the total drive count, the cost side of the
+// paper's equal-capacity comparison.
+func (c Config) PhysicalDisks() int {
+	switch c.Org {
+	case array.OrgMirror:
+		return 2 * c.DataDisks
+	case array.OrgBase, array.OrgRAID0:
+		return c.DataDisks
+	}
+	if c.N >= c.DataDisks {
+		// One wide array striping the whole database.
+		return c.N + 1
+	}
+	full := c.DataDisks / c.N
+	rem := c.DataDisks % c.N
+	n := full * (c.N + 1)
+	if rem > 0 {
+		n += rem + 1
+	}
+	return n
+}
+
+func (c Config) arrayConfig(group, disks int) array.Config {
+	return array.Config{
+		Org:              c.Org,
+		N:                disks,
+		Spec:             c.Spec,
+		StripingUnit:     c.StripingUnit,
+		Placement:        c.Placement,
+		ParityStripeUnit: c.ParityStripeUnit,
+		Sync:             c.Sync,
+		Cached:           c.Cached,
+		CacheBlocks:      c.CacheMB << 20 / c.Spec.BlockBytes,
+		DestagePeriod:    c.DestagePeriod,
+		PureLRUWriteback: c.PureLRUWriteback,
+		Warmup:           c.Warmup,
+		BuffersPerDisk:   c.BuffersPerDisk,
+		DiskSched:        c.DiskSched,
+		SyncSpindles:     c.SyncSpindles,
+		Seed:             c.Seed*1000003 + uint64(group)*7919 + 17,
+	}
+}
+
+// Results aggregates a whole system's simulation.
+type Results struct {
+	Config Config
+	Arrays int
+	Events uint64
+
+	Requests  int64
+	Resp      stats.Summary // response time, ms
+	ReadResp  stats.Summary
+	WriteResp stats.Summary
+
+	ReadHits, ReadMisses   int64
+	WriteHits, WriteMisses int64
+
+	DiskAccesses   []int64   // per physical disk, array-major order
+	DiskUtil       []float64 // likewise
+	SeekDistMean   float64
+	HeldRotations  int64
+	ParityAccesses int64
+	Cache          cache.Stats
+
+	PerArray []*array.Results
+}
+
+// ReadHitRatio returns read hits over read requests.
+func (r *Results) ReadHitRatio() float64 {
+	n := r.ReadHits + r.ReadMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(r.ReadHits) / float64(n)
+}
+
+// WriteHitRatio returns write hits over write requests.
+func (r *Results) WriteHitRatio() float64 {
+	n := r.WriteHits + r.WriteMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(r.WriteHits) / float64(n)
+}
+
+// MeanResponseMS returns the overall mean response time in milliseconds —
+// the y-axis of nearly every figure in the paper.
+func (r *Results) MeanResponseMS() float64 { return r.Resp.Mean() }
+
+// drainGrace bounds how long past the last arrival an array may take to
+// finish in-flight work before the run is declared wedged. Generous: a
+// severely overloaded trace-speed-2 run needs time to empty its queues.
+const drainGrace = 3600 * sim.Second
+
+// runOneArray simulates a single array against its sub-trace and returns
+// its results and the number of events executed.
+func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, error) {
+	eng := sim.New()
+	ctrl, err := array.New(eng, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	cap64 := ctrl.DataBlocks()
+	idx := 0
+	var feed func()
+	feed = func() {
+		r := sub.Records[idx]
+		idx++
+		lba := r.LBA
+		blocks := r.Blocks
+		if lba >= cap64 {
+			// Striping/area division can shave a sliver of capacity off
+			// the logical space; wrap the handful of affected addresses.
+			lba %= cap64
+		}
+		if rem := cap64 - lba; int64(blocks) > rem {
+			blocks = int(rem)
+		}
+		ctrl.Submit(array.Request{Op: r.Op, LBA: lba, Blocks: blocks})
+		if idx < len(sub.Records) {
+			eng.At(sub.Records[idx].At, feed)
+		}
+	}
+	if len(sub.Records) > 0 {
+		eng.At(sub.Records[0].At, feed)
+	}
+	eng.RunUntil(sub.Duration())
+	deadline := sub.Duration() + drainGrace
+	for !ctrl.Drained() && eng.Now() < deadline {
+		eng.RunFor(sim.Second)
+	}
+	if !ctrl.Drained() {
+		return nil, 0, fmt.Errorf("core: array %q did not drain within %ds grace — controller wedged or hopelessly overloaded",
+			sub.Name, drainGrace/sim.Second)
+	}
+	return ctrl.Results(), eng.Steps(), nil
+}
+
+// Run simulates cfg against tr. Arrays are simulated concurrently.
+func Run(cfg Config, tr *trace.Trace) (*Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.NumDisks != cfg.DataDisks {
+		return nil, fmt.Errorf("core: trace has %d disks, config expects %d", tr.NumDisks, cfg.DataDisks)
+	}
+	if tr.BlocksPerDisk != cfg.Spec.BlocksPerDisk() {
+		return nil, fmt.Errorf("core: trace has %d blocks/disk, disk model has %d", tr.BlocksPerDisk, cfg.Spec.BlocksPerDisk())
+	}
+	subs := tr.SplitByGroup(cfg.N)
+	parts := make([]*array.Results, len(subs))
+	events := make([]uint64, len(subs))
+	errs := make([]error, len(subs))
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for g, sub := range subs {
+		disks := cfg.N
+		if g > 0 && g == len(subs)-1 {
+			// Tail array holds only the remaining data disks. (The g == 0
+			// case with N > DataDisks intentionally keeps the full width:
+			// the database stripes across the whole wider array.)
+			disks = cfg.DataDisks - g*cfg.N
+		}
+		if disks < 2 {
+			// A 1-disk tail array can't host a parity group; fold it into
+			// a 2-disk array by borrowing capacity (the trace addresses
+			// still fit after wrapping).
+			disks = 2
+		}
+		wg.Add(1)
+		go func(g int, sub *trace.Trace, disks int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parts[g], events[g], errs[g] = runOneArray(cfg.arrayConfig(g, disks), sub)
+		}(g, sub, disks)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return merge(cfg, parts, events), nil
+}
+
+func merge(cfg Config, parts []*array.Results, events []uint64) *Results {
+	out := &Results{Config: cfg, Arrays: len(parts), PerArray: parts}
+	for i, p := range parts {
+		out.Events += events[i]
+		out.Requests += p.Requests
+		out.Resp.Merge(&p.Resp)
+		out.ReadResp.Merge(&p.ReadResp)
+		out.WriteResp.Merge(&p.WriteResp)
+		out.ReadHits += p.ReadHits
+		out.ReadMisses += p.ReadMisses
+		out.WriteHits += p.WriteHits
+		out.WriteMisses += p.WriteMisses
+		out.DiskAccesses = append(out.DiskAccesses, p.DiskAccesses...)
+		out.DiskUtil = append(out.DiskUtil, p.DiskUtil...)
+		out.HeldRotations += p.HeldRotations
+		out.ParityAccesses += p.ParityAccesses
+		mergeCacheStats(&out.Cache, &p.Cache)
+	}
+	// Weighted mean of per-array seek distances, weighted by accesses.
+	var wsum, w float64
+	for _, p := range parts {
+		var acc int64
+		for _, a := range p.DiskAccesses {
+			acc += a
+		}
+		wsum += p.SeekDistMean * float64(acc)
+		w += float64(acc)
+	}
+	if w > 0 {
+		out.SeekDistMean = wsum / w
+	}
+	return out
+}
+
+func mergeCacheStats(dst, src *cache.Stats) {
+	dst.Inserts += src.Inserts
+	dst.Evictions += src.Evictions
+	dst.DirtyEvictions += src.DirtyEvictions
+	dst.OldCaptured += src.OldCaptured
+	dst.OldSkipped += src.OldSkipped
+	dst.Destages += src.Destages
+	dst.ParityQueued += src.ParityQueued
+	dst.ParityStalls += src.ParityStalls
+	if src.PeakUsed > dst.PeakUsed {
+		dst.PeakUsed = src.PeakUsed
+	}
+	if src.PeakParity > dst.PeakParity {
+		dst.PeakParity = src.PeakParity
+	}
+}

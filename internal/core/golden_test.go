@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"raidsim/internal/array"
+	"raidsim/internal/geom"
+	"raidsim/internal/sim"
+	"raidsim/internal/workload"
+)
+
+// goldenCases pins exact simulation outputs for a tiny fixed workload.
+// Simulation is deterministic, so any drift here means the *model*
+// changed — which may be intentional, but must be noticed (and the
+// calibration discussion in EXPERIMENTS.md re-checked). Regenerate the
+// expected values by running this test with -run TestGolden -v and
+// copying the printed table.
+var goldenCases = []struct {
+	name   string
+	org    array.Org
+	cached bool
+	sync   array.SyncPolicy
+}{
+	{"base", array.OrgBase, false, array.DF},
+	{"mirror", array.OrgMirror, false, array.DF},
+	{"raid5-df", array.OrgRAID5, false, array.DF},
+	{"raid5-si", array.OrgRAID5, false, array.SI},
+	{"pstripe", array.OrgParityStriping, false, array.DF},
+	{"raid0", array.OrgRAID0, false, array.DF},
+	{"raid3", array.OrgRAID3, false, array.DF},
+	{"plog", array.OrgParityLog, false, array.DF},
+	{"base-cached", array.OrgBase, true, array.DF},
+	{"raid5-cached", array.OrgRAID5, true, array.DF},
+	{"raid4-cached", array.OrgRAID4, true, array.DF},
+}
+
+// golden maps case name -> mean response (ms) recorded from the current
+// model. Tolerance is tight (0.1%) — these runs are deterministic; slack
+// only absorbs float-summation order changes.
+var golden = map[string]float64{
+	"base":         57.876119,
+	"mirror":       41.510100,
+	"raid5-df":     44.732865,
+	"raid5-si":     48.484785,
+	"pstripe":      67.835827,
+	"raid0":        33.600101,
+	"raid3":        177.363309,
+	"plog":         38.161847,
+	"base-cached":  31.180576,
+	"raid5-cached": 20.742907,
+	"raid4-cached": 20.702851,
+}
+
+func TestGoldenResponses(t *testing.T) {
+	p := workload.Trace2Profile()
+	p.Requests = 4000
+	p.Duration = 200 * sim.Second
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCases {
+		cfg := Config{
+			Org: c.org, DataDisks: 10, N: 10, Spec: geom.Default(),
+			Sync: c.sync, Cached: c.cached, CacheMB: 16, Seed: 77,
+		}
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := res.MeanResponseMS()
+		want, ok := golden[c.name]
+		if !ok {
+			// Bootstrap mode: print the line to paste into the map.
+			t.Logf("golden[%q] = %.6f", c.name, got)
+			continue
+		}
+		if math.Abs(got-want)/want > 0.001 {
+			t.Errorf("%s: response %.6f ms, golden %.6f — the model changed; "+
+				"if intentional, re-record (go test -run TestGolden -v) and revisit EXPERIMENTS.md",
+				c.name, got, want)
+		}
+	}
+	if len(golden) == 0 {
+		t.Log("golden map empty: values printed above; paste them in to arm the regression net")
+	}
+}
+
+// Keep fmt imported for regeneration helpers.
+var _ = fmt.Sprintf

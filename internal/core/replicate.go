@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"raidsim/internal/trace"
+)
+
+// Replicated summarizes several independent replications (same workload,
+// different simulation seeds — disk phases and derived randomness vary)
+// of one configuration, with a normal-approximation confidence interval
+// on the mean response time. Trace replay is deterministic per seed, so
+// replication variance isolates the model's stochastic inputs.
+type Replicated struct {
+	Runs        []*Results
+	MeanRespMS  float64
+	StdRespMS   float64 // across-replication standard deviation
+	HalfWidth95 float64 // ±, normal approximation (z = 1.96)
+}
+
+// RunReplicated executes reps independent replications of cfg against tr,
+// varying only the seed.
+func RunReplicated(cfg Config, tr *trace.Trace, reps int) (*Replicated, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("core: need at least one replication")
+	}
+	out := &Replicated{}
+	var sum, sumsq float64
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*0x9e3779b9
+		res, err := Run(c, tr)
+		if err != nil {
+			return nil, fmt.Errorf("replication %d: %w", i, err)
+		}
+		out.Runs = append(out.Runs, res)
+		m := res.MeanResponseMS()
+		sum += m
+		sumsq += m * m
+	}
+	n := float64(reps)
+	out.MeanRespMS = sum / n
+	if reps > 1 {
+		v := (sumsq - sum*sum/n) / (n - 1)
+		if v < 0 {
+			v = 0
+		}
+		out.StdRespMS = math.Sqrt(v)
+		out.HalfWidth95 = 1.96 * out.StdRespMS / math.Sqrt(n)
+	}
+	return out, nil
+}
+
+// RelativeHalfWidth returns the 95% CI half-width as a fraction of the
+// mean — the usual "is this sweep point trustworthy" check.
+func (r *Replicated) RelativeHalfWidth() float64 {
+	if r.MeanRespMS == 0 {
+		return 0
+	}
+	return r.HalfWidth95 / r.MeanRespMS
+}

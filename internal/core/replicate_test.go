@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"raidsim/internal/array"
+	"raidsim/internal/geom"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+	"raidsim/internal/workload"
+)
+
+func repTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	p := workload.Trace2Profile()
+	p.Requests = 2500
+	p.Duration = 120 * sim.Second
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunReplicated(t *testing.T) {
+	tr := repTrace(t)
+	cfg := Config{
+		Org: array.OrgRAID5, DataDisks: 10, N: 10,
+		Spec: geom.Default(), Sync: array.DF, Seed: 3,
+	}
+	rep, err := RunReplicated(cfg, tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 5 {
+		t.Fatalf("runs %d", len(rep.Runs))
+	}
+	if rep.MeanRespMS <= 0 {
+		t.Fatal("zero mean")
+	}
+	if rep.StdRespMS <= 0 {
+		t.Fatal("replications identical: seeds not varied")
+	}
+	// Rotational phase is the only stochastic input; replication spread
+	// should be small relative to the mean.
+	if rep.RelativeHalfWidth() > 0.25 {
+		t.Fatalf("CI half-width %.2f of mean — suspiciously noisy", rep.RelativeHalfWidth())
+	}
+	if _, err := RunReplicated(cfg, tr, 0); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+func TestWarmupExcludesEarlyRequests(t *testing.T) {
+	tr := repTrace(t)
+	cfg := Config{
+		Org: array.OrgBase, DataDisks: 10, N: 10,
+		Spec: geom.Default(), Cached: true, CacheMB: 16, Seed: 3,
+	}
+	full, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Warmup = tr.Duration() / 2
+	warm, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Resp.N() >= full.Resp.N() {
+		t.Fatalf("warmup did not exclude samples: %d vs %d", warm.Resp.N(), full.Resp.N())
+	}
+	if warm.Resp.N() == 0 {
+		t.Fatal("warmup excluded everything")
+	}
+	// Requests are all still simulated.
+	if warm.Requests != full.Requests {
+		t.Fatalf("warmup changed simulated request count: %d vs %d", warm.Requests, full.Requests)
+	}
+	// A warm cache hits more often than a cold-start average.
+	if warm.ReadHitRatio() < full.ReadHitRatio() {
+		t.Fatalf("steady-state hit ratio %.3f below cold-start-inclusive %.3f",
+			warm.ReadHitRatio(), full.ReadHitRatio())
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"raidsim/internal/array"
+	"raidsim/internal/geom"
+	"raidsim/internal/sim"
+	"raidsim/internal/workload"
+)
+
+// TestSmokeAllOrgs runs a tiny Trace2-like workload through every
+// organization, cached and not, and sanity-checks the aggregate results.
+func TestSmokeAllOrgs(t *testing.T) {
+	prof := workload.Trace2Profile().Scaled(0.05)
+	tr, err := workload.Generate(prof)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	t.Logf("trace: %d records over %.1fs", len(tr.Records), float64(tr.Duration())/float64(sim.Second))
+
+	type tc struct {
+		name   string
+		org    array.Org
+		cached bool
+	}
+	cases := []tc{
+		{"base", array.OrgBase, false},
+		{"mirror", array.OrgMirror, false},
+		{"raid5", array.OrgRAID5, false},
+		{"pstripe", array.OrgParityStriping, false},
+		{"base-cached", array.OrgBase, true},
+		{"mirror-cached", array.OrgMirror, true},
+		{"raid5-cached", array.OrgRAID5, true},
+		{"pstripe-cached", array.OrgParityStriping, true},
+		{"raid4-cached", array.OrgRAID4, true},
+		{"raid0", array.OrgRAID0, false},
+		{"raid0-cached", array.OrgRAID0, true},
+		{"raid3", array.OrgRAID3, false},
+		{"plog", array.OrgParityLog, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Config{
+				Org:       c.org,
+				DataDisks: 10,
+				N:         10,
+				Spec:      geom.Default(),
+				Sync:      array.DF,
+				Cached:    c.cached,
+				CacheMB:   16,
+				Seed:      42,
+			}
+			res, err := Run(cfg, tr)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Requests != int64(len(tr.Records)) {
+				t.Errorf("requests: got %d want %d", res.Requests, len(tr.Records))
+			}
+			if res.Resp.N() != res.Requests {
+				t.Errorf("response samples: got %d want %d", res.Resp.N(), res.Requests)
+			}
+			mean := res.MeanResponseMS()
+			if mean <= 0 || mean > 10000 {
+				t.Errorf("implausible mean response %f ms", mean)
+			}
+			t.Logf("%-16s resp=%.2fms read=%.2f write=%.2f events=%d rhit=%.2f whit=%.2f",
+				c.name, mean, res.ReadResp.Mean(), res.WriteResp.Mean(), res.Events,
+				res.ReadHitRatio(), res.WriteHitRatio())
+		})
+	}
+}

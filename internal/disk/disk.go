@@ -1,0 +1,330 @@
+// Package disk models a single disk drive as a discrete-event server: a
+// prioritized FIFO queue feeding a mechanism with seek, rotational
+// position, and media transfer, plus the two-phase read-modify-write
+// access that parity organizations use (read the old block, wait for the
+// platter to come around, write the new block in place — holding extra
+// full rotations if the new contents are not yet computable).
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"raidsim/internal/geom"
+	"raidsim/internal/sim"
+	"raidsim/internal/stats"
+)
+
+// Priority orders requests in the disk queue. Lower values are served
+// first; within a priority class service is FIFO.
+type Priority int
+
+// Priority classes, from most to least urgent.
+const (
+	PriHigh       Priority = iota // parity accesses under the /PR policies
+	PriNormal                     // foreground reads and writes
+	PriBackground                 // destage, parity spool, rebuild traffic
+	numPriorities
+)
+
+// Request is one disk access. StartBlock/Blocks address the drive's own
+// block space (see geom.Spec.ToCHS). For RMW requests the drive first
+// reads Blocks old blocks at the target location, fires OnReadDone, and
+// then writes the same location exactly one rotation after the read pass
+// began — or later, in whole-rotation steps, while Ready reports false.
+type Request struct {
+	StartBlock int64
+	Blocks     int
+	Write      bool
+	RMW        bool
+	Priority   Priority
+
+	// TransferSectors, when positive, overrides the media-pass length:
+	// the access addresses StartBlock's position but transfers only this
+	// many sectors (byte-striped organizations like RAID3 move a 1/N
+	// slice of each block per disk). Incompatible with RMW and with runs
+	// that span blocks.
+	TransferSectors int
+
+	// Ready gates the RMW write phase; nil means always ready.
+	Ready func() bool
+	// OnStart fires when the request acquires the mechanism (Disk First
+	// policies hook this). May be nil.
+	OnStart func()
+	// OnReadDone fires when an RMW request finishes reading old data.
+	// May be nil.
+	OnReadDone func()
+	// OnDone fires when the request fully completes. May be nil.
+	OnDone func()
+
+	enqueued sim.Time
+}
+
+// Stats aggregates a drive's activity counters.
+type Stats struct {
+	Accesses      int64 // requests serviced
+	Reads         int64
+	Writes        int64
+	RMWs          int64
+	BlocksRead    int64
+	BlocksWritten int64
+	SeekDistSum   int64 // cylinders traveled
+	SeekCount     int64 // seeks with distance >= 1
+	HeldRotations int64 // extra full rotations waiting for RMW inputs
+	RMWAborts     int64 // RMWs that gave up holding and requeued
+	QueueWait     stats.Summary
+	ServiceTime   stats.Summary
+	Util          stats.Utilization
+}
+
+// Disk is a single simulated drive.
+type Disk struct {
+	ID   int
+	eng  *sim.Engine
+	spec geom.Spec
+	seek geom.SeekModel
+
+	phase float64 // initial rotational phase, fraction of a revolution
+	cyl   int     // current arm cylinder
+	busy  bool
+
+	sched  Sched
+	lookUp bool // LOOK sweep direction
+	queues [numPriorities][]*Request
+
+	S Stats
+}
+
+// New returns an idle drive with its arm at cylinder 0 and the given
+// rotational phase in [0, 1). No spindle synchronization is assumed, so
+// callers give each drive an independent random phase.
+func New(eng *sim.Engine, id int, spec geom.Spec, seek geom.SeekModel, phase float64) *Disk {
+	if phase < 0 || phase >= 1 {
+		panic(fmt.Sprintf("disk: phase %f outside [0,1)", phase))
+	}
+	return &Disk{ID: id, eng: eng, spec: spec, seek: seek, phase: phase}
+}
+
+// Spec returns the drive's geometry.
+func (d *Disk) Spec() geom.Spec { return d.spec }
+
+// Cylinder returns the arm's current (or in-flight target) cylinder, used
+// by the mirrored organization's shortest-seek read routing.
+func (d *Disk) Cylinder() int { return d.cyl }
+
+// QueueLen returns the number of requests waiting (not in service).
+func (d *Disk) QueueLen() int {
+	n := 0
+	for _, q := range d.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Busy reports whether the mechanism is in use.
+func (d *Disk) Busy() bool { return d.busy }
+
+// Submit enqueues a request. It panics on malformed requests — those are
+// controller bugs, not simulated conditions.
+func (d *Disk) Submit(r *Request) {
+	if r.Blocks <= 0 {
+		panic("disk: request with no blocks")
+	}
+	if r.StartBlock < 0 || r.StartBlock+int64(r.Blocks) > d.spec.BlocksPerDisk() {
+		panic(fmt.Sprintf("disk %d: request [%d,%d) outside drive [0,%d)",
+			d.ID, r.StartBlock, r.StartBlock+int64(r.Blocks), d.spec.BlocksPerDisk()))
+	}
+	if r.RMW && !r.Write {
+		panic("disk: RMW request must be a write")
+	}
+	if r.TransferSectors < 0 || (r.TransferSectors > 0 && r.RMW) {
+		panic("disk: bad TransferSectors")
+	}
+	if r.Priority < 0 || r.Priority >= numPriorities {
+		panic("disk: bad priority")
+	}
+	r.enqueued = d.eng.Now()
+	d.queues[r.Priority] = append(d.queues[r.Priority], r)
+	d.trySchedule()
+}
+
+func (d *Disk) trySchedule() {
+	if d.busy {
+		return
+	}
+	r := d.pop()
+	if r == nil {
+		return
+	}
+	d.busy = true
+	now := d.eng.Now()
+	d.S.Util.SetBusy(now)
+	d.S.QueueWait.Add(sim.Millis(now - r.enqueued))
+	if r.OnStart != nil {
+		r.OnStart()
+	}
+	d.service(r, now)
+}
+
+// angleAt returns the rotational position at time t as a fraction of a
+// revolution in [0, 1).
+func (d *Disk) angleAt(t sim.Time) float64 {
+	rot := d.spec.RotationTime()
+	pos := float64(t%rot)/float64(rot) + d.phase
+	return pos - math.Floor(pos)
+}
+
+// rotationalDelay returns the time until the head next reaches angle a,
+// starting from time t. Zero if it is exactly there.
+func (d *Disk) rotationalDelay(t sim.Time, a float64) sim.Time {
+	cur := d.angleAt(t)
+	frac := a - cur
+	if frac < 0 {
+		frac++
+	}
+	return sim.Time(frac * float64(d.spec.RotationTime()))
+}
+
+// transferPlan describes the media pass over a contiguous block run.
+type transferPlan struct {
+	duration sim.Time // total media time including cylinder crossings
+	endCyl   int      // arm position afterwards
+}
+
+// planTransfer computes the media transfer of n blocks starting at start.
+// Consecutive blocks stream continuously across heads within a cylinder
+// (track skew hides head-switch time); crossing a cylinder boundary costs
+// a single-cylinder seek, with the layout skewed so no additional
+// rotation is lost.
+func (d *Disk) planTransfer(start int64, n int) transferPlan {
+	bt := d.spec.BlockTransferTime()
+	dur := sim.Time(n) * bt
+	startCyl := d.spec.ToCHS(start).Cylinder
+	endCyl := d.spec.ToCHS(start + int64(n) - 1).Cylinder
+	if crossings := endCyl - startCyl; crossings > 0 {
+		dur += sim.Time(crossings) * d.seek.Time(1)
+	}
+	return transferPlan{duration: dur, endCyl: endCyl}
+}
+
+func (d *Disk) service(r *Request, now sim.Time) {
+	chs := d.spec.ToCHS(r.StartBlock)
+	dist := chs.Cylinder - d.cyl
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist > 0 {
+		d.S.SeekDistSum += int64(dist)
+		d.S.SeekCount++
+	}
+	seekT := d.seek.Time(dist)
+	d.cyl = chs.Cylinder
+
+	arrive := now + seekT
+	startAngle := d.spec.AngleOfBlock(chs.Block)
+	latency := d.rotationalDelay(arrive, startAngle)
+	var plan transferPlan
+	if r.TransferSectors > 0 {
+		plan = transferPlan{
+			duration: d.spec.SectorTime() * sim.Time(r.TransferSectors),
+			endCyl:   chs.Cylinder,
+		}
+	} else {
+		plan = d.planTransfer(r.StartBlock, r.Blocks)
+	}
+	d.cyl = plan.endCyl
+
+	passStart := arrive + latency
+	passEnd := passStart + plan.duration
+
+	d.S.Accesses++
+	if r.RMW {
+		d.S.RMWs++
+		d.S.BlocksRead += int64(r.Blocks)
+		d.S.BlocksWritten += int64(r.Blocks)
+	} else if r.Write {
+		d.S.Writes++
+		d.S.BlocksWritten += int64(r.Blocks)
+	} else {
+		d.S.Reads++
+		d.S.BlocksRead += int64(r.Blocks)
+	}
+
+	if !r.RMW {
+		d.eng.At(passEnd, func() { d.finish(r, now) })
+		return
+	}
+
+	// RMW: the pass just performed is the old-data read. The write of the
+	// new data can begin when the head is back over the start of the run:
+	// a whole number of rotations after the read pass began, the first
+	// instant at or after the read pass ends (multi-track runs keep this
+	// alignment because the layout is skewed).
+	d.eng.At(passEnd, func() {
+		if r.OnReadDone != nil {
+			r.OnReadDone()
+		}
+		rot := d.spec.RotationTime()
+		k := (plan.duration + rot - 1) / rot
+		if k < 1 {
+			k = 1
+		}
+		d.rmwWriteAttempt(r, passStart+k*rot, plan.duration, now, 0)
+	})
+}
+
+// maxHeldRotations bounds how long an RMW may hold the mechanism waiting
+// for its inputs ("the parity disk is held for the duration of some
+// number of full rotations", section 3.3). Past the bound the access
+// gives up and requeues at the head of its class — without the bound,
+// two Simultaneous-Issue parity updates holding each other's data disks
+// would deadlock.
+const maxHeldRotations = 8
+
+// rmwWriteAttempt tries to start the RMW write pass at writeStart; if the
+// inputs are not ready the head must make another full rotation.
+func (d *Disk) rmwWriteAttempt(r *Request, writeStart sim.Time, dur sim.Time, svcStart sim.Time, holds int) {
+	d.eng.At(writeStart, func() {
+		if r.Ready != nil && !r.Ready() {
+			d.S.HeldRotations++
+			if holds+1 >= maxHeldRotations {
+				d.S.RMWAborts++
+				d.requeue(r)
+				return
+			}
+			d.rmwWriteAttempt(r, writeStart+d.spec.RotationTime(), dur, svcStart, holds+1)
+			return
+		}
+		d.eng.At(writeStart+dur, func() { d.finish(r, svcStart) })
+	})
+}
+
+// requeue releases the mechanism and puts the request at the back of its
+// priority class, letting queued work — possibly the very data read this
+// access is waiting for — run first. It will redo its old-data read when
+// it next acquires the disk.
+func (d *Disk) requeue(r *Request) {
+	// The retried access redoes its read pass (and re-fires OnStart /
+	// OnReadDone if set — parity accesses, the only gated kind, set
+	// neither); compensate the counters so it is tallied once.
+	d.S.Accesses--
+	d.S.RMWs--
+	d.S.BlocksRead -= int64(r.Blocks)
+	d.S.BlocksWritten -= int64(r.Blocks)
+	d.busy = false
+	d.S.Util.SetIdle(d.eng.Now())
+	r.enqueued = d.eng.Now()
+	d.queues[r.Priority] = append(d.queues[r.Priority], r)
+	d.trySchedule()
+}
+
+func (d *Disk) finish(r *Request, svcStart sim.Time) {
+	now := d.eng.Now()
+	d.S.ServiceTime.Add(sim.Millis(now - svcStart))
+	d.busy = false
+	d.S.Util.SetIdle(now)
+	if r.OnDone != nil {
+		r.OnDone()
+	}
+	d.trySchedule()
+}

@@ -1,0 +1,138 @@
+package disk
+
+import (
+	"testing"
+
+	"raidsim/internal/geom"
+	"raidsim/internal/sim"
+)
+
+// blockAtCyl returns the first block of the given cylinder.
+func blockAtCyl(spec geom.Spec, cyl int) int64 {
+	return spec.FromCHS(geom.CHS{Cylinder: cyl, Head: 0, Block: 0})
+}
+
+// submitAtCyls queues one read per cylinder (after an initial request
+// that occupies the disk so the rest stay queued) and returns the service
+// order as cylinder numbers.
+func submitAtCyls(t *testing.T, sched Sched, cyls []int) []int {
+	t.Helper()
+	eng := sim.New()
+	spec := geom.Default()
+	d := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
+	d.SetSched(sched)
+	var order []int
+	d.Submit(&Request{StartBlock: blockAtCyl(spec, 600), Blocks: 1, Priority: PriNormal,
+		OnDone: func() { order = append(order, 600) }})
+	for _, c := range cyls {
+		c := c
+		d.Submit(&Request{StartBlock: blockAtCyl(spec, c), Blocks: 1, Priority: PriNormal,
+			OnDone: func() { order = append(order, c) }})
+	}
+	eng.Run()
+	return order[1:] // drop the pump request
+}
+
+func TestFIFOOrder(t *testing.T) {
+	got := submitAtCyls(t, FIFO, []int{100, 900, 50, 700})
+	want := []int{100, 900, 50, 700}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FIFO order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSSTFPicksNearest(t *testing.T) {
+	// Arm ends at cylinder 600 after the pump request.
+	got := submitAtCyls(t, SSTF, []int{100, 900, 50, 700})
+	// From 600: nearest 700, then 900, then 100, then 50.
+	want := []int{700, 900, 100, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SSTF order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLOOKSweeps(t *testing.T) {
+	// Arm at 600, initial direction up: 700, 900, then reverse: 100, 50.
+	got := submitAtCyls(t, LOOK, []int{100, 900, 50, 700})
+	want := []int{700, 900, 100, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LOOK order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLOOKReversesOnlyWhenNeeded(t *testing.T) {
+	// All below the arm: single downward sweep in decreasing order.
+	got := submitAtCyls(t, LOOK, []int{300, 500, 100})
+	want := []int{500, 300, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LOOK downward order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedRespectsPriority(t *testing.T) {
+	eng := sim.New()
+	spec := geom.Default()
+	d := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
+	d.SetSched(SSTF)
+	var order []string
+	d.Submit(&Request{StartBlock: blockAtCyl(spec, 600), Blocks: 1, Priority: PriNormal,
+		OnDone: func() { order = append(order, "pump") }})
+	// Near normal request vs far high-priority request: priority wins.
+	d.Submit(&Request{StartBlock: blockAtCyl(spec, 610), Blocks: 1, Priority: PriNormal,
+		OnDone: func() { order = append(order, "near-normal") }})
+	d.Submit(&Request{StartBlock: blockAtCyl(spec, 10), Blocks: 1, Priority: PriHigh,
+		OnDone: func() { order = append(order, "far-high") }})
+	eng.Run()
+	if order[1] != "far-high" {
+		t.Fatalf("priority not respected under SSTF: %v", order)
+	}
+}
+
+func TestSSTFReducesSeekVersusFIFO(t *testing.T) {
+	cyls := make([]int, 0, 40)
+	for i := 0; i < 40; i++ {
+		cyls = append(cyls, (i*911)%1260)
+	}
+	run := func(s Sched) int64 {
+		eng := sim.New()
+		spec := geom.Default()
+		d := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
+		d.SetSched(s)
+		for _, c := range cyls {
+			d.Submit(&Request{StartBlock: blockAtCyl(spec, c), Blocks: 1, Priority: PriNormal})
+		}
+		eng.Run()
+		return d.S.SeekDistSum
+	}
+	fifo, sstf, look := run(FIFO), run(SSTF), run(LOOK)
+	if sstf >= fifo || look >= fifo {
+		t.Fatalf("scheduling did not reduce seeking: fifo=%d sstf=%d look=%d", fifo, sstf, look)
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	for name, want := range map[string]Sched{
+		"fifo": FIFO, "": FIFO, "sstf": SSTF, "look": LOOK, "scan": LOOK, "elevator": LOOK,
+	} {
+		got, err := ParseSched(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSched(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseSched("bogus"); err == nil {
+		t.Error("bogus scheduler parsed")
+	}
+	for _, s := range []Sched{FIFO, SSTF, LOOK} {
+		if s.String() == "" {
+			t.Error("empty scheduler name")
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package exp
+
+import (
+	"fmt"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/report"
+)
+
+func init() {
+	register(Experiment{ID: "fig11", Title: "Figure 11: hit ratios vs cache size (parity vs non-parity)", Run: fig11})
+	register(Experiment{ID: "fig12", Title: "Figure 12: response time vs cache size (cached orgs)", Run: fig12})
+	register(Experiment{ID: "fig13", Title: "Figure 13: array size, cached orgs, fixed total cache", Run: fig13})
+	register(Experiment{ID: "fig14", Title: "Figure 14: striping unit, cached RAID5", Run: fig14})
+	register(Experiment{ID: "fig15", Title: "Figure 15: hit ratios, RAID5 vs RAID4 parity caching", Run: fig15})
+	register(Experiment{ID: "fig16", Title: "Figure 16: response time vs cache size, RAID4 vs RAID5", Run: fig16})
+	register(Experiment{ID: "fig17", Title: "Figure 17: array size, RAID4 vs RAID5, fixed total cache", Run: fig17})
+	register(Experiment{ID: "fig18", Title: "Figure 18: trace speed, RAID4 vs RAID5", Run: fig18})
+	register(Experiment{ID: "fig19", Title: "Figure 19: striping unit, RAID4 vs RAID5", Run: fig19})
+}
+
+var cacheSizesMB = []int{8, 16, 32, 64, 128, 256}
+
+func cacheTicks() []string {
+	out := make([]string, len(cacheSizesMB))
+	for i, mb := range cacheSizesMB {
+		out[i] = fmt.Sprintf("%dMB", mb)
+	}
+	return out
+}
+
+// cacheSweep runs the given organizations over the cache-size axis and
+// returns results indexed [org][size].
+func cacheSweep(ctx *Context, name string, orgs []array.Org) [][]*core.Results {
+	tr := ctx.Trace(name, 1)
+	var jobs []job
+	for _, org := range orgs {
+		for _, mb := range cacheSizesMB {
+			cfg := ctx.BaseConfig(name)
+			cfg.Org = org
+			cfg.Cached = true
+			cfg.CacheMB = mb
+			jobs = append(jobs, job{cfg: cfg, tr: tr})
+		}
+	}
+	res, _ := runAll(jobs)
+	out := make([][]*core.Results, len(orgs))
+	for i := range orgs {
+		out[i] = res[i*len(cacheSizesMB) : (i+1)*len(cacheSizesMB)]
+	}
+	return out
+}
+
+// fig11: read and write hit ratios vs cache size, parity organizations
+// (which hold old-data shadows) vs non-parity.
+func fig11(ctx *Context) error {
+	orgs := []array.Org{array.OrgBase, array.OrgRAID5}
+	for _, name := range ctx.TraceNames() {
+		res := cacheSweep(ctx, name, orgs)
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 11 (%s): hit ratio vs cache size", name),
+			XLabel: "cache",
+			YLabel: "hit ratio",
+			XTicks: cacheTicks(),
+		}
+		for i, org := range orgs {
+			reads := make([]float64, len(cacheSizesMB))
+			writes := make([]float64, len(cacheSizesMB))
+			for k, r := range res[i] {
+				if r != nil {
+					reads[k] = r.ReadHitRatio()
+					writes[k] = r.WriteHitRatio()
+				}
+			}
+			fig.Add(org.String()+"-read", reads...)
+			fig.Add(org.String()+"-write", writes...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig12: response time vs cache size for the four cached organizations.
+func fig12(ctx *Context) error {
+	orgs := []array.Org{array.OrgBase, array.OrgMirror, array.OrgRAID5, array.OrgParityStriping}
+	for _, name := range ctx.TraceNames() {
+		res := cacheSweep(ctx, name, orgs)
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 12 (%s): response time vs cache size", name),
+			XLabel: "cache",
+			YLabel: "response time (ms)",
+			XTicks: cacheTicks(),
+		}
+		for i, org := range orgs {
+			vals := make([]float64, len(cacheSizesMB))
+			for k, r := range res[i] {
+				vals[k] = meanOrNaN(r)
+			}
+			fig.Add(org.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sizeWithCache sweeps array size holding the total cache constant (the
+// per-array cache grows with N, as in Figures 13 and 17).
+func sizeWithCache(ctx *Context, name string, orgs []array.Org, sizes []int, mbPerN float64) [][]*core.Results {
+	tr := ctx.Trace(name, 1)
+	var jobs []job
+	for _, org := range orgs {
+		for _, n := range sizes {
+			cfg := ctx.BaseConfig(name)
+			cfg.Org = org
+			cfg.Cached = true
+			cfg.N = n
+			cfg.CacheMB = int(mbPerN * float64(n))
+			jobs = append(jobs, job{cfg: cfg, tr: tr})
+		}
+	}
+	res, _ := runAll(jobs)
+	out := make([][]*core.Results, len(orgs))
+	for i := range orgs {
+		out[i] = res[i*len(sizes) : (i+1)*len(sizes)]
+	}
+	return out
+}
+
+// fig13: cached organizations across array sizes with the same total
+// cache (8 MB per array at N=5, 16 MB at N=10, 24 MB at N=15).
+func fig13(ctx *Context) error {
+	sizes := []int{5, 10, 15}
+	orgs := []array.Org{array.OrgBase, array.OrgMirror, array.OrgRAID5, array.OrgParityStriping}
+	for _, name := range ctx.TraceNames() {
+		res := sizeWithCache(ctx, name, orgs, sizes, 1.6)
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 13 (%s): array size, cached, fixed total cache", name),
+			XLabel: "N",
+			YLabel: "response time (ms)",
+		}
+		for _, n := range sizes {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", n))
+		}
+		for i, org := range orgs {
+			vals := make([]float64, len(sizes))
+			for k, r := range res[i] {
+				vals[k] = meanOrNaN(r)
+			}
+			fig.Add(org.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig14: cached RAID5 response time vs striping unit.
+func fig14(ctx *Context) error {
+	for _, name := range ctx.TraceNames() {
+		tr := ctx.Trace(name, 1)
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 14 (%s): striping unit, cached RAID5 (16MB)", name),
+			XLabel: "striping unit (blocks)",
+			YLabel: "response time (ms)",
+		}
+		var jobs []job
+		for _, su := range stripingUnits {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", su))
+			cfg := ctx.BaseConfig(name)
+			cfg.Org = array.OrgRAID5
+			cfg.Cached = true
+			cfg.StripingUnit = su
+			jobs = append(jobs, job{cfg: cfg, tr: tr})
+		}
+		res, _ := runAll(jobs)
+		vals := make([]float64, len(res))
+		for i, r := range res {
+			vals[i] = meanOrNaN(r)
+		}
+		fig.Add("raid5-cached", vals...)
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig15: hit ratios, RAID5 (data caching only) vs RAID4 (data + parity
+// in the same cache).
+func fig15(ctx *Context) error {
+	orgs := []array.Org{array.OrgRAID5, array.OrgRAID4}
+	for _, name := range ctx.TraceNames() {
+		res := cacheSweep(ctx, name, orgs)
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 15 (%s): hit ratio, RAID5 vs RAID4 parity caching", name),
+			XLabel: "cache",
+			YLabel: "hit ratio",
+			XTicks: cacheTicks(),
+		}
+		for i, org := range orgs {
+			reads := make([]float64, len(cacheSizesMB))
+			writes := make([]float64, len(cacheSizesMB))
+			for k, r := range res[i] {
+				if r != nil {
+					reads[k] = r.ReadHitRatio()
+					writes[k] = r.WriteHitRatio()
+				}
+			}
+			fig.Add(org.String()+"-read", reads...)
+			fig.Add(org.String()+"-write", writes...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig16: response time vs cache size, RAID4 with parity caching vs RAID5.
+func fig16(ctx *Context) error {
+	orgs := []array.Org{array.OrgRAID5, array.OrgRAID4}
+	for _, name := range ctx.TraceNames() {
+		res := cacheSweep(ctx, name, orgs)
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 16 (%s): response time, RAID4 vs RAID5", name),
+			XLabel: "cache",
+			YLabel: "response time (ms)",
+			XTicks: cacheTicks(),
+		}
+		for i, org := range orgs {
+			vals := make([]float64, len(cacheSizesMB))
+			for k, r := range res[i] {
+				vals[k] = meanOrNaN(r)
+			}
+			fig.Add(org.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig17: RAID4 vs RAID5 across array sizes with fixed total cache
+// (8 MB at N=5, 16 MB at N=10, 32 MB at N=20).
+func fig17(ctx *Context) error {
+	sizes := []int{5, 10, 20}
+	orgs := []array.Org{array.OrgRAID5, array.OrgRAID4}
+	for _, name := range ctx.TraceNames() {
+		res := sizeWithCache(ctx, name, orgs, sizes, 1.6)
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 17 (%s): array size, RAID4 vs RAID5", name),
+			XLabel: "N",
+			YLabel: "response time (ms)",
+		}
+		for _, n := range sizes {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", n))
+		}
+		for i, org := range orgs {
+			vals := make([]float64, len(sizes))
+			for k, r := range res[i] {
+				vals[k] = meanOrNaN(r)
+			}
+			fig.Add(org.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig18: RAID4 vs RAID5, cached, response time vs trace speed.
+func fig18(ctx *Context) error {
+	orgs := []array.Org{array.OrgRAID5, array.OrgRAID4}
+	for _, name := range ctx.TraceNames() {
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 18 (%s): trace speed, RAID4 vs RAID5 (16MB)", name),
+			XLabel: "speed",
+			YLabel: "response time (ms)",
+		}
+		for _, s := range traceSpeeds {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%g", s))
+		}
+		for _, org := range orgs {
+			var jobs []job
+			for _, s := range traceSpeeds {
+				cfg := ctx.BaseConfig(name)
+				cfg.Org = org
+				cfg.Cached = true
+				jobs = append(jobs, job{cfg: cfg, tr: ctx.Trace(name, s)})
+			}
+			res, errs := runAll(jobs)
+			vals := make([]float64, len(res))
+			for i, r := range res {
+				vals[i] = meanOrNaN(r)
+				if errs[i] != "" {
+					fig.AddNote("%s @%g: %s", org, traceSpeeds[i], errs[i])
+				}
+			}
+			fig.Add(org.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig19: RAID4 vs RAID5, cached, response time vs striping unit.
+func fig19(ctx *Context) error {
+	orgs := []array.Org{array.OrgRAID5, array.OrgRAID4}
+	for _, name := range ctx.TraceNames() {
+		tr := ctx.Trace(name, 1)
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 19 (%s): striping unit, RAID4 vs RAID5 (16MB)", name),
+			XLabel: "striping unit (blocks)",
+			YLabel: "response time (ms)",
+		}
+		for _, su := range stripingUnits {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", su))
+		}
+		for _, org := range orgs {
+			var jobs []job
+			for _, su := range stripingUnits {
+				cfg := ctx.BaseConfig(name)
+				cfg.Org = org
+				cfg.Cached = true
+				cfg.StripingUnit = su
+				jobs = append(jobs, job{cfg: cfg, tr: tr})
+			}
+			res, _ := runAll(jobs)
+			vals := make([]float64, len(res))
+			for i, r := range res {
+				vals[i] = meanOrNaN(r)
+			}
+			fig.Add(org.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package exp defines the reproducible experiments: one per table and
+// figure of the paper, plus the ablations and extensions DESIGN.md lists.
+// Each experiment generates (or reuses) the synthetic traces, sweeps the
+// parameter the paper sweeps, and renders the same rows/series the paper
+// reports.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/geom"
+	"raidsim/internal/layout"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+	"raidsim/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks the traces (1.0 = the paper's full request counts).
+	// The arrival *rate* — the operating point — is preserved.
+	Scale float64
+	// Traces selects the workloads; default both {"trace1", "trace2"}.
+	Traces []string
+	// Seed perturbs the simulation (not the trace) randomness.
+	Seed uint64
+	// Out receives rendered tables and figures.
+	Out io.Writer
+	// CSV, when true, renders CSV instead of aligned tables.
+	CSV bool
+	// Plot, when true, renders figures as ASCII charts above their tables.
+	Plot bool
+}
+
+func (o *Options) fill() {
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	if len(o.Traces) == 0 {
+		o.Traces = []string{"trace1", "trace2"}
+	}
+	if o.Out == nil {
+		panic("exp: Options.Out is required")
+	}
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx *Context) error
+}
+
+// Context carries shared state (cached traces) across an experiment.
+type Context struct {
+	opts    Options
+	mu      sync.Mutex
+	traces  map[string]*trace.Trace
+	profile map[string]workload.Profile
+}
+
+// NewContext prepares a Context for the options.
+func NewContext(opts Options) *Context {
+	opts.fill()
+	return &Context{
+		opts:   opts,
+		traces: make(map[string]*trace.Trace),
+		profile: map[string]workload.Profile{
+			"trace1": workload.Trace1Profile(),
+			"trace2": workload.Trace2Profile(),
+		},
+	}
+}
+
+// Out returns the destination writer.
+func (ctx *Context) Out() io.Writer { return ctx.opts.Out }
+
+// TraceNames returns the selected workloads.
+func (ctx *Context) TraceNames() []string { return ctx.opts.Traces }
+
+// Profile returns the workload profile for a trace name.
+func (ctx *Context) Profile(name string) workload.Profile {
+	p, ok := ctx.profile[name]
+	if !ok {
+		panic(fmt.Sprintf("exp: unknown trace %q", name))
+	}
+	return p.Scaled(ctx.opts.Scale)
+}
+
+// Trace returns the (cached) generated trace at the given speed factor.
+func (ctx *Context) Trace(name string, speed float64) *trace.Trace {
+	key := fmt.Sprintf("%s@%g", name, speed)
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if t, ok := ctx.traces[key]; ok {
+		return t
+	}
+	base, ok := ctx.traces[name+"@1"]
+	if !ok {
+		var err error
+		base, err = workload.Generate(ctx.Profile(name))
+		if err != nil {
+			panic(fmt.Sprintf("exp: generating %s: %v", name, err))
+		}
+		ctx.traces[name+"@1"] = base
+	}
+	if speed == 1 {
+		return base
+	}
+	t := base.Scale(speed)
+	ctx.traces[key] = t
+	return t
+}
+
+// BaseConfig returns the paper's default configuration (Table 4) for a
+// workload: N = 10, 4 KB blocks, Disk First synchronization, 1-block
+// striping unit, middle-cylinder parity placement, 16 MB cache when
+// caching is on.
+func (ctx *Context) BaseConfig(name string) core.Config {
+	p := ctx.profile[name]
+	return core.Config{
+		DataDisks:     p.NumDisks,
+		N:             10,
+		Spec:          geom.Default(),
+		StripingUnit:  1,
+		Placement:     layout.MiddlePlacement,
+		Sync:          array.DF,
+		CacheMB:       16,
+		DestagePeriod: sim.Second,
+		Seed:          ctx.opts.Seed + 1,
+	}
+}
+
+// Render writes a renderable (Table or Figure) honoring the CSV option.
+type renderable interface {
+	Render(io.Writer) error
+	RenderCSV(io.Writer) error
+}
+
+// plottable is a renderable that can also draw itself as an ASCII chart.
+type plottable interface {
+	RenderPlot(io.Writer) error
+}
+
+// Render emits r to the context's output.
+func (ctx *Context) Render(r renderable) error {
+	if ctx.opts.CSV {
+		return r.RenderCSV(ctx.opts.Out)
+	}
+	if ctx.opts.Plot {
+		if p, ok := r.(plottable); ok {
+			if err := p.RenderPlot(ctx.opts.Out); err != nil {
+				return err
+			}
+		}
+	}
+	return r.Render(ctx.opts.Out)
+}
+
+// job is one simulation point of a sweep.
+type job struct {
+	cfg core.Config
+	tr  *trace.Trace
+}
+
+// runAll executes the jobs concurrently (bounded by GOMAXPROCS) and
+// returns results in order. A failed run (e.g. hopelessly overloaded at
+// double trace speed) yields a nil entry and its error message.
+func runAll(jobs []job) ([]*core.Results, []string) {
+	out := make([]*core.Results, len(jobs))
+	errs := make([]string, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Keep nested parallelism bounded: the per-config run uses
+			// the worker budget too, so restrict each to a couple of
+			// array workers when many configs run at once.
+			cfg := j.cfg
+			if cfg.Workers == 0 && len(jobs) >= workers {
+				cfg.Workers = 2
+			}
+			res, err := core.Run(cfg, j.tr)
+			if err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			out[i] = res
+		}(i, j)
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// meanOrNaN extracts the mean response time, NaN for failed runs.
+func meanOrNaN(r *core.Results) float64 {
+	if r == nil {
+		return math.NaN()
+	}
+	return r.MeanResponseMS()
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}

@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func testCtx(buf *strings.Builder, traces ...string) *Context {
+	if len(traces) == 0 {
+		traces = []string{"trace2"}
+	}
+	return NewContext(Options{
+		Scale:  0.02,
+		Traces: traces,
+		Seed:   1,
+		Out:    buf,
+	})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"ablate-destage", "ablate-pstripe", "ablate-sync-destage",
+		"ablate-sched", "ablate-spindles",
+		"ext-rebuild", "ext-mttdl", "ext-model", "ext-closedloop", "ext-taxonomy", "ext-paritylog",
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf strings.Builder
+	ctx := testCtx(&buf, "trace1", "trace2")
+	for _, id := range []string{"table1", "table2", "ext-mttdl"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(ctx); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"5400 rpm", "Trace 1", "Trace 2", "MTTDL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	var buf strings.Builder
+	ctx := testCtx(&buf)
+	e, _ := Get("fig5")
+	if err := e.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 5", "base", "mirror", "raid5", "pstripe"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("fig5 contains failed runs:\n%s", out)
+	}
+}
+
+func TestFig11CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	var buf strings.Builder
+	ctx := NewContext(Options{Scale: 0.02, Traces: []string{"trace2"}, Seed: 1, Out: &buf, CSV: true})
+	e, _ := Get("fig11")
+	if err := e.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cache,base-read,base-write,raid5-read,raid5-write") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "8MB,") {
+		t.Errorf("CSV rows missing:\n%s", out)
+	}
+}
+
+func TestTraceCaching(t *testing.T) {
+	var buf strings.Builder
+	ctx := testCtx(&buf)
+	a := ctx.Trace("trace2", 1)
+	b := ctx.Trace("trace2", 1)
+	if a != b {
+		t.Error("trace not cached")
+	}
+	fast := ctx.Trace("trace2", 2)
+	if fast == a {
+		t.Error("speed-scaled trace should be distinct")
+	}
+	if fast.Duration() >= a.Duration() {
+		t.Error("speed 2 should shorten the trace")
+	}
+}
+
+func TestBaseConfigDefaultsMatchTable4(t *testing.T) {
+	var buf strings.Builder
+	ctx := testCtx(&buf)
+	cfg := ctx.BaseConfig("trace2")
+	if cfg.N != 10 || cfg.StripingUnit != 1 || cfg.CacheMB != 16 {
+		t.Errorf("defaults drifted from Table 4: %+v", cfg)
+	}
+	if cfg.Spec.BlockBytes != 4096 {
+		t.Errorf("block size %d, want 4096", cfg.Spec.BlockBytes)
+	}
+}

@@ -1,0 +1,226 @@
+package exp
+
+import (
+	"fmt"
+
+	"raidsim/internal/array"
+	"raidsim/internal/geom"
+	"raidsim/internal/recovery"
+	"raidsim/internal/reliability"
+	"raidsim/internal/report"
+	"raidsim/internal/sim"
+	"raidsim/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "ablate-destage", Title: "Ablation: periodic destage vs pure LRU write-back (section 3.4)", Run: ablateDestage})
+	register(Experiment{ID: "ablate-pstripe", Title: "Ablation: fine-grained parity striping (section 4.2.1 future work)", Run: ablatePStripe})
+	register(Experiment{ID: "ablate-sync-destage", Title: "Ablation: destage period", Run: ablateDestagePeriod})
+	register(Experiment{ID: "ext-rebuild", Title: "Extension: degraded-mode and rebuild performance", Run: extRebuild})
+	register(Experiment{ID: "ext-mttdl", Title: "Extension: MTTDL of the organizations (intro footnote)", Run: extMTTDL})
+}
+
+// ablateDestage compares the periodic destage process against plain LRU
+// write-back (dirty blocks written only on eviction). The paper reports
+// the periodic policy "always performs better for all organizations".
+func ablateDestage(ctx *Context) error {
+	orgs := []array.Org{array.OrgBase, array.OrgMirror, array.OrgRAID5, array.OrgParityStriping}
+	sizes := []int{8, 32, 128}
+	for _, name := range ctx.TraceNames() {
+		tr := ctx.Trace(name, 1)
+		t := &report.Table{
+			Title:   fmt.Sprintf("Ablation (%s): periodic destage vs pure LRU write-back (resp ms)", name),
+			Columns: []string{"org", "cacheMB", "periodic", "pure-LRU", "LRU/periodic"},
+		}
+		for _, org := range orgs {
+			for _, mb := range sizes {
+				var jobs []job
+				for _, pure := range []bool{false, true} {
+					cfg := ctx.BaseConfig(name)
+					cfg.Org = org
+					cfg.Cached = true
+					cfg.CacheMB = mb
+					cfg.PureLRUWriteback = pure
+					jobs = append(jobs, job{cfg: cfg, tr: tr})
+				}
+				res, _ := runAll(jobs)
+				p, l := meanOrNaN(res[0]), meanOrNaN(res[1])
+				t.AddRow(org.String(), fmt.Sprintf("%d", mb),
+					fmt.Sprintf("%.2f", p), fmt.Sprintf("%.2f", l), fmt.Sprintf("%.3f", l/p))
+			}
+		}
+		if err := ctx.Render(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ablatePStripe evaluates the paper's proposed fix for Parity Striping's
+// correlated-load problem: striping the parity at a finer grain so a hot
+// data area spreads its parity updates over all the other disks.
+func ablatePStripe(ctx *Context) error {
+	units := []int64{0, 4096, 1024, 256, 64} // 0 = classic whole-area parity
+	for _, name := range ctx.TraceNames() {
+		tr := ctx.Trace(name, 1)
+		t := &report.Table{
+			Title:   fmt.Sprintf("Ablation (%s): parity striping sub-unit (non-cached, N=10)", name),
+			Columns: []string{"parity unit (blocks)", "resp (ms)", "max disk util"},
+		}
+		var jobs []job
+		for _, u := range units {
+			cfg := ctx.BaseConfig(name)
+			cfg.Org = array.OrgParityStriping
+			cfg.ParityStripeUnit = u
+			jobs = append(jobs, job{cfg: cfg, tr: tr})
+		}
+		res, _ := runAll(jobs)
+		for i, u := range units {
+			label := "classic"
+			if u > 0 {
+				label = fmt.Sprintf("%d", u)
+			}
+			var umax float64
+			if res[i] != nil {
+				for _, x := range res[i].DiskUtil {
+					if x > umax {
+						umax = x
+					}
+				}
+			}
+			t.AddRow(label, fmt.Sprintf("%.2f", meanOrNaN(res[i])), fmt.Sprintf("%.3f", umax))
+		}
+		if err := ctx.Render(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ablateDestagePeriod sweeps the destage period for cached RAID5: short
+// periods raise the write traffic, long ones raise the chance a miss
+// waits on a dirty victim (section 3.4's tradeoff).
+func ablateDestagePeriod(ctx *Context) error {
+	periods := []sim.Time{sim.Second / 4, sim.Second, 4 * sim.Second, 16 * sim.Second}
+	for _, name := range ctx.TraceNames() {
+		tr := ctx.Trace(name, 1)
+		t := &report.Table{
+			Title:   fmt.Sprintf("Ablation (%s): destage period, cached RAID5 (16MB)", name),
+			Columns: []string{"period (s)", "resp (ms)", "dirty evictions"},
+		}
+		var jobs []job
+		for _, p := range periods {
+			cfg := ctx.BaseConfig(name)
+			cfg.Org = array.OrgRAID5
+			cfg.Cached = true
+			cfg.DestagePeriod = p
+			jobs = append(jobs, job{cfg: cfg, tr: tr})
+		}
+		res, _ := runAll(jobs)
+		for i, p := range periods {
+			var de int64
+			if res[i] != nil {
+				de = res[i].Cache.DirtyEvictions
+			}
+			t.AddRow(fmt.Sprintf("%.2f", float64(p)/float64(sim.Second)),
+				fmt.Sprintf("%.2f", meanOrNaN(res[i])), fmt.Sprintf("%d", de))
+		}
+		if err := ctx.Render(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extRebuild measures a RAID5 array healthy, degraded, and during
+// rebuild, under a Trace2-like foreground load.
+func extRebuild(ctx *Context) error {
+	prof := ctx.Profile("trace2")
+	tr, err := workload.Generate(prof)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   "Extension: RAID5 (N=10) degraded and rebuilding (Trace 2 load)",
+		Columns: []string{"mode", "resp (ms)", "degraded resp (ms)", "rebuild (min)"},
+	}
+	type mode struct {
+		name    string
+		failed  bool
+		rebuild bool
+	}
+	for _, m := range []mode{
+		{"healthy", false, false},
+		{"degraded", true, false},
+		{"rebuilding", true, true},
+	} {
+		eng := sim.New()
+		cfg := recovery.Config{
+			N:            10,
+			Spec:         geom.Default(),
+			StripingUnit: 1,
+			FailedDisk:   -1, // healthy
+			Rebuild:      m.rebuild,
+			RebuildStart: 0,
+			RebuildPause: 20 * sim.Millisecond,
+			Seed:         ctx.opts.Seed,
+		}
+		if m.failed {
+			cfg.FailedDisk = 0
+		}
+		s, err := recovery.New(eng, cfg)
+		if err != nil {
+			return err
+		}
+		capacity := s.DataBlocks()
+		idx := 0
+		var feed func()
+		feed = func() {
+			r := tr.Records[idx]
+			idx++
+			lba := r.LBA % capacity
+			s.Submit(r.Op, lba)
+			if idx < len(tr.Records) {
+				eng.At(tr.Records[idx].At, feed)
+			}
+		}
+		if len(tr.Records) > 0 {
+			eng.At(tr.Records[0].At, feed)
+		}
+		eng.RunUntil(tr.Duration())
+		for i := 0; i < 4000 && (!s.Drained() || (m.rebuild && !s.Results().RebuildDone)); i++ {
+			eng.RunFor(sim.Second)
+		}
+		res := s.Results()
+		reb := "-"
+		if res.RebuildDone && m.rebuild {
+			reb = fmt.Sprintf("%.1f", float64(res.RebuildTime)/float64(60*sim.Second))
+		}
+		t.AddRow(m.name, fmt.Sprintf("%.2f", res.Resp.Mean()),
+			fmt.Sprintf("%.2f", res.DegradedResp.Mean()), reb)
+	}
+	return ctx.Render(t)
+}
+
+// extMTTDL reproduces the introduction's reliability arithmetic.
+func extMTTDL(ctx *Context) error {
+	p := reliability.Params{DiskMTTFHours: 100000, MTTRHours: 24}
+	t := &report.Table{
+		Title:   "Extension: MTTDL (disk MTTF 100,000 h, MTTR 24 h)",
+		Columns: []string{"organization", "disks", "MTTDL (days)", "P(loss in 1y)"},
+	}
+	add := func(name string, disks int, mttdl float64) {
+		t.AddRow(name, fmt.Sprintf("%d", disks),
+			fmt.Sprintf("%.0f", reliability.HoursToDays(mttdl)),
+			fmt.Sprintf("%.4f", reliability.DataLossProbability(mttdl, 365*24)))
+	}
+	add("non-redundant farm (paper footnote)", 150, reliability.FarmMTTDLHours(p, 150))
+	add("base 130 disks", 130, reliability.FarmMTTDLHours(p, 130))
+	add("mirror 130 pairs", 260, reliability.MirrorFarmMTTDLHours(p, 130))
+	add("raid5 13 arrays N=10", 143, reliability.ArrayFarmMTTDLHours(p, 10, 13))
+	add("raid5 26 arrays N=5", 156, reliability.ArrayFarmMTTDLHours(p, 5, 26))
+	add("raid5 7 arrays N=20", 147, reliability.ArrayFarmMTTDLHours(p, 20, 7))
+	t.AddNote("footnote check: 150 disks -> MTTDL %.1f days (< 28 days as the paper states)",
+		reliability.HoursToDays(reliability.FarmMTTDLHours(p, 150)))
+	return ctx.Render(t)
+}

@@ -1,0 +1,295 @@
+package exp
+
+import (
+	"fmt"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/geom"
+	"raidsim/internal/layout"
+	"raidsim/internal/report"
+	"raidsim/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "table1", Title: "Table 1: disk and channel parameters", Run: table1})
+	register(Experiment{ID: "table2", Title: "Table 2: trace characteristics", Run: table2})
+	register(Experiment{ID: "fig4", Title: "Figure 4: synchronization policies vs array size", Run: fig4})
+	register(Experiment{ID: "fig5", Title: "Figure 5: response time vs array size (non-cached)", Run: fig5})
+	register(Experiment{ID: "fig6", Title: "Figure 6: per-disk accesses, Base (Trace 1)", Run: fig6})
+	register(Experiment{ID: "fig7", Title: "Figure 7: per-disk accesses, RAID5 (Trace 1)", Run: fig7})
+	register(Experiment{ID: "fig8", Title: "Figure 8: striping unit (non-cached RAID5)", Run: fig8})
+	register(Experiment{ID: "fig9", Title: "Figure 9: parity placement (Parity Striping)", Run: fig9})
+	register(Experiment{ID: "fig10", Title: "Figure 10: trace speed (non-cached)", Run: fig10})
+}
+
+func table1(ctx *Context) error {
+	spec := geom.Default()
+	seek := geom.MustCalibrateSeek(spec)
+	t := &report.Table{
+		Title:   "Table 1: disk and channel parameters",
+		Columns: []string{"Parameter", "Value"},
+	}
+	t.AddRow("Rotation speed", fmt.Sprintf("%d rpm", spec.RPM))
+	t.AddRow("Average seek", fmt.Sprintf("%.1f ms", spec.AvgSeekMS))
+	t.AddRow("Maximal seek", fmt.Sprintf("%.0f ms", spec.MaxSeekMS))
+	t.AddRow("Tracks per platter", fmt.Sprintf("%d", spec.Cylinders))
+	t.AddRow("Sectors per track", fmt.Sprintf("%d", spec.SectorsPerTrack))
+	t.AddRow("Bytes per sector", fmt.Sprintf("%d", spec.SectorBytes))
+	t.AddRow("Recording surfaces", fmt.Sprintf("%d", spec.Heads))
+	t.AddRow("Channel transfer rate", fmt.Sprintf("%.0f MB/s", spec.ChannelMBps))
+	t.AddRow("Capacity", fmt.Sprintf("%.2f GB", float64(spec.CapacityBytes())/1e9))
+	t.AddNote("seek curve t(d) = %.4f*sqrt(d-1) + %.5f*(d-1) + %.2f ms; model mean %.2f ms",
+		seek.A, seek.B, seek.C, seek.MeanMS())
+	return ctx.Render(t)
+}
+
+func table2(ctx *Context) error {
+	t := &report.Table{
+		Title:   "Table 2: trace characteristics (synthetic, scaled)",
+		Columns: []string{"Metric", "Trace 1", "Trace 2"},
+	}
+	var cs []trace.Characteristics
+	for _, name := range []string{"trace1", "trace2"} {
+		cs = append(cs, trace.Characterize(ctx.Trace(name, 1)))
+	}
+	row := func(label string, f func(c trace.Characteristics) string) {
+		t.AddRow(label, f(cs[0]), f(cs[1]))
+	}
+	row("Duration", func(c trace.Characteristics) string {
+		return fmt.Sprintf("%ds", c.Duration/1e9)
+	})
+	row("# of disks", func(c trace.Characteristics) string { return fmt.Sprintf("%d", c.NumDisks) })
+	row("# of I/O accesses", func(c trace.Characteristics) string { return fmt.Sprintf("%d", c.Accesses) })
+	row("# of blocks transferred", func(c trace.Characteristics) string { return fmt.Sprintf("%d", c.BlocksTransferred) })
+	row("# of single block reads", func(c trace.Characteristics) string { return fmt.Sprintf("%d", c.SingleBlockReads) })
+	row("# of single block writes", func(c trace.Characteristics) string { return fmt.Sprintf("%d", c.SingleBlockWrites) })
+	row("# of multiblock reads", func(c trace.Characteristics) string { return fmt.Sprintf("%d", c.MultiBlockReads) })
+	row("# of multiblock writes", func(c trace.Characteristics) string { return fmt.Sprintf("%d", c.MultiBlockWrites) })
+	row("write fraction", func(c trace.Characteristics) string { return fmt.Sprintf("%.3f", c.WriteFraction()) })
+	row("disk skew (peak/mean)", func(c trace.Characteristics) string { return fmt.Sprintf("%.2f", c.Skew()) })
+	return ctx.Render(t)
+}
+
+var arraySizes = []int{5, 10, 15, 20}
+
+// fig4: five synchronization policies for RAID5 and Parity Striping,
+// non-cached, response time vs array size.
+func fig4(ctx *Context) error {
+	policies := []array.SyncPolicy{array.SI, array.RF, array.RFPR, array.DF, array.DFPR}
+	for _, name := range ctx.TraceNames() {
+		for _, org := range []array.Org{array.OrgRAID5, array.OrgParityStriping} {
+			fig := &report.Figure{
+				Title:  fmt.Sprintf("Figure 4 (%s, %s): synchronization policies", name, org),
+				XLabel: "N",
+				YLabel: "response time (ms)",
+			}
+			for _, n := range arraySizes {
+				fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", n))
+			}
+			tr := ctx.Trace(name, 1)
+			for _, pol := range policies {
+				var jobs []job
+				for _, n := range arraySizes {
+					cfg := ctx.BaseConfig(name)
+					cfg.Org = org
+					cfg.N = n
+					cfg.Sync = pol
+					jobs = append(jobs, job{cfg: cfg, tr: tr})
+				}
+				res, _ := runAll(jobs)
+				vals := make([]float64, len(res))
+				for i, r := range res {
+					vals[i] = meanOrNaN(r)
+				}
+				fig.Add(pol.String(), vals...)
+			}
+			if err := ctx.Render(fig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fig5: the four organizations, non-cached, response time vs array size.
+func fig5(ctx *Context) error {
+	orgs := []array.Org{array.OrgBase, array.OrgMirror, array.OrgRAID5, array.OrgParityStriping}
+	for _, name := range ctx.TraceNames() {
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 5 (%s): response time vs array size, non-cached", name),
+			XLabel: "N",
+			YLabel: "response time (ms)",
+		}
+		for _, n := range arraySizes {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", n))
+		}
+		tr := ctx.Trace(name, 1)
+		for _, org := range orgs {
+			var jobs []job
+			for _, n := range arraySizes {
+				cfg := ctx.BaseConfig(name)
+				cfg.Org = org
+				cfg.N = n
+				jobs = append(jobs, job{cfg: cfg, tr: tr})
+			}
+			res, _ := runAll(jobs)
+			vals := make([]float64, len(res))
+			for i, r := range res {
+				vals[i] = meanOrNaN(r)
+			}
+			fig.Add(org.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// perDiskAccesses runs one config on Trace 1 and renders the access count
+// of every physical disk.
+func perDiskAccesses(ctx *Context, title string, mutate func(*core.Config)) error {
+	cfg := ctx.BaseConfig("trace1")
+	cfg.Org = array.OrgBase
+	mutate(&cfg)
+	res, err := core.Run(cfg, ctx.Trace("trace1", 1))
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   title,
+		Columns: []string{"disk", "accesses", "utilization"},
+	}
+	for i, n := range res.DiskAccesses {
+		t.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", n), fmt.Sprintf("%.4f", res.DiskUtil[i]))
+	}
+	var max, sum int64
+	for _, n := range res.DiskAccesses {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(sum) / float64(len(res.DiskAccesses))
+	t.AddNote("peak/mean access skew = %.2f", float64(max)/mean)
+	return ctx.Render(t)
+}
+
+func fig6(ctx *Context) error {
+	return perDiskAccesses(ctx, "Figure 6: accesses per disk, Base organization (Trace 1)",
+		func(cfg *core.Config) { cfg.Org = array.OrgBase })
+}
+
+func fig7(ctx *Context) error {
+	return perDiskAccesses(ctx, "Figure 7: accesses per disk, RAID5 1-block striping unit (Trace 1)",
+		func(cfg *core.Config) { cfg.Org = array.OrgRAID5; cfg.StripingUnit = 1 })
+}
+
+var stripingUnits = []int{1, 2, 4, 8, 16, 32, 64}
+
+// fig8: non-cached RAID5 response time vs striping unit.
+func fig8(ctx *Context) error {
+	for _, name := range ctx.TraceNames() {
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 8 (%s): striping unit, non-cached RAID5 (N=10)", name),
+			XLabel: "striping unit (blocks)",
+			YLabel: "response time (ms)",
+		}
+		for _, su := range stripingUnits {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", su))
+		}
+		tr := ctx.Trace(name, 1)
+		var jobs []job
+		for _, su := range stripingUnits {
+			cfg := ctx.BaseConfig(name)
+			cfg.Org = array.OrgRAID5
+			cfg.StripingUnit = su
+			jobs = append(jobs, job{cfg: cfg, tr: tr})
+		}
+		res, _ := runAll(jobs)
+		vals := make([]float64, len(res))
+		for i, r := range res {
+			vals[i] = meanOrNaN(r)
+		}
+		fig.Add("raid5", vals...)
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig9: parity placement (middle vs end cylinders) for Parity Striping.
+func fig9(ctx *Context) error {
+	for _, name := range ctx.TraceNames() {
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 9 (%s): parity placement, Parity Striping", name),
+			XLabel: "N",
+			YLabel: "response time (ms)",
+		}
+		for _, n := range arraySizes {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", n))
+		}
+		tr := ctx.Trace(name, 1)
+		for _, pl := range []layout.Placement{layout.MiddlePlacement, layout.EndPlacement} {
+			var jobs []job
+			for _, n := range arraySizes {
+				cfg := ctx.BaseConfig(name)
+				cfg.Org = array.OrgParityStriping
+				cfg.N = n
+				cfg.Placement = pl
+				jobs = append(jobs, job{cfg: cfg, tr: tr})
+			}
+			res, _ := runAll(jobs)
+			vals := make([]float64, len(res))
+			for i, r := range res {
+				vals[i] = meanOrNaN(r)
+			}
+			fig.Add(pl.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var traceSpeeds = []float64{0.5, 1, 2}
+
+// fig10: response time vs trace speed for the four organizations,
+// non-cached.
+func fig10(ctx *Context) error {
+	orgs := []array.Org{array.OrgBase, array.OrgMirror, array.OrgRAID5, array.OrgParityStriping}
+	for _, name := range ctx.TraceNames() {
+		fig := &report.Figure{
+			Title:  fmt.Sprintf("Figure 10 (%s): trace speed, non-cached (N=10)", name),
+			XLabel: "speed",
+			YLabel: "response time (ms)",
+		}
+		for _, s := range traceSpeeds {
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%g", s))
+		}
+		for _, org := range orgs {
+			var jobs []job
+			for _, s := range traceSpeeds {
+				cfg := ctx.BaseConfig(name)
+				cfg.Org = org
+				jobs = append(jobs, job{cfg: cfg, tr: ctx.Trace(name, s)})
+			}
+			res, errs := runAll(jobs)
+			vals := make([]float64, len(res))
+			for i, r := range res {
+				vals[i] = meanOrNaN(r)
+				if errs[i] != "" {
+					fig.AddNote("%s @%g: %s", org, traceSpeeds[i], errs[i])
+				}
+			}
+			fig.Add(org.String(), vals...)
+		}
+		if err := ctx.Render(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}

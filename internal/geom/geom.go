@@ -1,0 +1,152 @@
+// Package geom models disk drive geometry and mechanics: the mapping from
+// block numbers to cylinder/head/sector coordinates, the non-linear seek
+// time curve, and rotational timing. The default parameters reproduce
+// Table 1 of the paper (a 5400 rpm, ~0.9 GB drive with 1260 cylinders,
+// 30 recording surfaces, 48 sectors of 512 bytes per track).
+package geom
+
+import (
+	"fmt"
+
+	"raidsim/internal/sim"
+)
+
+// Spec describes a disk drive model and the channel attaching it.
+type Spec struct {
+	RPM             int     // spindle speed, revolutions per minute
+	Cylinders       int     // seek positions
+	Heads           int     // recording surfaces (tracks per cylinder)
+	SectorsPerTrack int     // sectors on each track
+	SectorBytes     int     // bytes per sector
+	AvgSeekMS       float64 // catalog average seek time, ms
+	MaxSeekMS       float64 // full-stroke seek time, ms
+	MinSeekMS       float64 // single-cylinder seek time, ms
+	ChannelMBps     float64 // channel transfer rate, MB/s
+	BlockBytes      int     // logical block (page) size in bytes
+}
+
+// Default returns the drive of Table 1. The paper lists 15 platters and
+// 1260 tracks per platter; with two surfaces per platter (30 heads) the
+// capacity works out to the "about 0.9 GByte" the paper quotes:
+// 1260 * 30 * 48 * 512 = 929 MB.
+func Default() Spec {
+	return Spec{
+		RPM:             5400,
+		Cylinders:       1260,
+		Heads:           30,
+		SectorsPerTrack: 48,
+		SectorBytes:     512,
+		AvgSeekMS:       11.2,
+		MaxSeekMS:       28.0,
+		MinSeekMS:       1.5,
+		ChannelMBps:     10.0,
+		BlockBytes:      4096,
+	}
+}
+
+// Validate reports whether the Spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.RPM <= 0:
+		return fmt.Errorf("geom: RPM must be positive, got %d", s.RPM)
+	case s.Cylinders < 2:
+		return fmt.Errorf("geom: need at least 2 cylinders, got %d", s.Cylinders)
+	case s.Heads <= 0:
+		return fmt.Errorf("geom: heads must be positive, got %d", s.Heads)
+	case s.SectorsPerTrack <= 0:
+		return fmt.Errorf("geom: sectors per track must be positive, got %d", s.SectorsPerTrack)
+	case s.SectorBytes <= 0:
+		return fmt.Errorf("geom: sector size must be positive, got %d", s.SectorBytes)
+	case s.BlockBytes <= 0 || s.BlockBytes%s.SectorBytes != 0:
+		return fmt.Errorf("geom: block size %d must be a positive multiple of sector size %d", s.BlockBytes, s.SectorBytes)
+	case s.SectorsPerBlock() > s.SectorsPerTrack:
+		return fmt.Errorf("geom: block (%d sectors) larger than a track (%d sectors)", s.SectorsPerBlock(), s.SectorsPerTrack)
+	case s.SectorsPerTrack%s.SectorsPerBlock() != 0:
+		return fmt.Errorf("geom: %d sectors/track not a multiple of %d sectors/block", s.SectorsPerTrack, s.SectorsPerBlock())
+	case s.AvgSeekMS <= s.MinSeekMS || s.MaxSeekMS <= s.AvgSeekMS:
+		return fmt.Errorf("geom: need min < avg < max seek, got %.2f/%.2f/%.2f", s.MinSeekMS, s.AvgSeekMS, s.MaxSeekMS)
+	case s.ChannelMBps <= 0:
+		return fmt.Errorf("geom: channel rate must be positive, got %f", s.ChannelMBps)
+	}
+	return nil
+}
+
+// SectorsPerBlock returns sectors per logical block.
+func (s Spec) SectorsPerBlock() int { return s.BlockBytes / s.SectorBytes }
+
+// BlocksPerTrack returns logical blocks per track.
+func (s Spec) BlocksPerTrack() int { return s.SectorsPerTrack / s.SectorsPerBlock() }
+
+// BlocksPerCylinder returns logical blocks per cylinder.
+func (s Spec) BlocksPerCylinder() int { return s.BlocksPerTrack() * s.Heads }
+
+// BlocksPerDisk returns logical blocks on the whole drive.
+func (s Spec) BlocksPerDisk() int64 {
+	return int64(s.BlocksPerCylinder()) * int64(s.Cylinders)
+}
+
+// CapacityBytes returns the formatted capacity of the drive.
+func (s Spec) CapacityBytes() int64 {
+	return int64(s.Cylinders) * int64(s.Heads) * int64(s.SectorsPerTrack) * int64(s.SectorBytes)
+}
+
+// RotationTime returns the time for one full revolution.
+func (s Spec) RotationTime() sim.Time {
+	return sim.Time(60*int64(sim.Second)) / sim.Time(s.RPM)
+}
+
+// SectorTime returns the time for one sector to pass under the head.
+func (s Spec) SectorTime() sim.Time {
+	return s.RotationTime() / sim.Time(s.SectorsPerTrack)
+}
+
+// BlockTransferTime returns the media transfer time of one logical block.
+func (s Spec) BlockTransferTime() sim.Time {
+	return s.SectorTime() * sim.Time(s.SectorsPerBlock())
+}
+
+// ChannelTime returns the channel transfer time for n logical blocks at
+// the spec's channel rate.
+func (s Spec) ChannelTime(n int) sim.Time {
+	bytes := float64(n) * float64(s.BlockBytes)
+	sec := bytes / (s.ChannelMBps * 1e6)
+	return sim.Time(sec * float64(sim.Second))
+}
+
+// CHS is a physical block coordinate on a drive.
+type CHS struct {
+	Cylinder int
+	Head     int
+	Block    int // block index within the track
+}
+
+// ToCHS converts an on-disk block number to its physical coordinate.
+// Blocks are laid out track-major: consecutive blocks fill a track, then
+// the next head in the same cylinder, then the next cylinder, which is
+// the conventional mapping that preserves sequential-access performance.
+func (s Spec) ToCHS(block int64) CHS {
+	if block < 0 || block >= s.BlocksPerDisk() {
+		panic(fmt.Sprintf("geom: block %d out of range [0,%d)", block, s.BlocksPerDisk()))
+	}
+	bpt := int64(s.BlocksPerTrack())
+	bpc := int64(s.BlocksPerCylinder())
+	cyl := block / bpc
+	rem := block % bpc
+	return CHS{
+		Cylinder: int(cyl),
+		Head:     int(rem / bpt),
+		Block:    int(rem % bpt),
+	}
+}
+
+// FromCHS converts a physical coordinate back to a block number.
+func (s Spec) FromCHS(c CHS) int64 {
+	return int64(c.Cylinder)*int64(s.BlocksPerCylinder()) +
+		int64(c.Head)*int64(s.BlocksPerTrack()) + int64(c.Block)
+}
+
+// AngleOfBlock returns the starting angular position of a block within its
+// track, as a fraction of a revolution in [0, 1).
+func (s Spec) AngleOfBlock(trackBlock int) float64 {
+	return float64(trackBlock) / float64(s.BlocksPerTrack())
+}

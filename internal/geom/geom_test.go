@@ -1,0 +1,186 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"raidsim/internal/sim"
+)
+
+func TestDefaultSpecMatchesTable1(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	if s.RPM != 5400 || s.Cylinders != 1260 || s.SectorsPerTrack != 48 || s.SectorBytes != 512 {
+		t.Fatalf("default spec drifted from Table 1: %+v", s)
+	}
+	// "Total capacity of each disk is about 0.9 GByte."
+	gb := float64(s.CapacityBytes()) / 1e9
+	if gb < 0.85 || gb > 0.95 {
+		t.Fatalf("capacity %.3f GB, want about 0.9", gb)
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	s := Default()
+	if s.SectorsPerBlock() != 8 {
+		t.Fatalf("sectors per 4KB block = %d, want 8", s.SectorsPerBlock())
+	}
+	if s.BlocksPerTrack() != 6 {
+		t.Fatalf("blocks per track = %d, want 6", s.BlocksPerTrack())
+	}
+	if s.BlocksPerCylinder() != 180 {
+		t.Fatalf("blocks per cylinder = %d, want 180", s.BlocksPerCylinder())
+	}
+	if s.BlocksPerDisk() != 226800 {
+		t.Fatalf("blocks per disk = %d, want 226800", s.BlocksPerDisk())
+	}
+	// 5400 rpm -> 11.111... ms per rotation.
+	rot := s.RotationTime()
+	if rot < 11111110 || rot > 11111112 {
+		t.Fatalf("rotation time = %d ns", rot)
+	}
+	if s.SectorTime()*48 > rot || s.SectorTime()*49 < rot {
+		t.Fatalf("sector time inconsistent: %d", s.SectorTime())
+	}
+	// 4KB over a 10 MB/s channel = 409.6 us.
+	ch := s.ChannelTime(1)
+	if ch < 409000 || ch > 410000 {
+		t.Fatalf("channel time for one block = %d ns", ch)
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	mods := []func(*Spec){
+		func(s *Spec) { s.RPM = 0 },
+		func(s *Spec) { s.Cylinders = 1 },
+		func(s *Spec) { s.Heads = 0 },
+		func(s *Spec) { s.SectorsPerTrack = 0 },
+		func(s *Spec) { s.SectorBytes = 0 },
+		func(s *Spec) { s.BlockBytes = 1000 },  // not a sector multiple
+		func(s *Spec) { s.BlockBytes = 65536 }, // bigger than a track
+		func(s *Spec) { s.BlockBytes = 5120 },  // 10 sectors: doesn't divide 48
+		func(s *Spec) { s.AvgSeekMS = 30 },     // avg > max
+		func(s *Spec) { s.MinSeekMS = 12 },     // min > avg
+		func(s *Spec) { s.ChannelMBps = 0 },
+	}
+	for i, mod := range mods {
+		s := Default()
+		mod(&s)
+		if s.Validate() == nil {
+			t.Errorf("mod %d: Validate accepted a broken spec", i)
+		}
+	}
+}
+
+func TestCHSRoundtrip(t *testing.T) {
+	s := Default()
+	f := func(raw uint32) bool {
+		b := int64(raw) % s.BlocksPerDisk()
+		chs := s.ToCHS(b)
+		if chs.Cylinder < 0 || chs.Cylinder >= s.Cylinders ||
+			chs.Head < 0 || chs.Head >= s.Heads ||
+			chs.Block < 0 || chs.Block >= s.BlocksPerTrack() {
+			return false
+		}
+		return s.FromCHS(chs) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCHSSequential(t *testing.T) {
+	s := Default()
+	// Blocks fill a track, then the next head, then the next cylinder.
+	c0 := s.ToCHS(0)
+	if c0 != (CHS{0, 0, 0}) {
+		t.Fatalf("block 0 at %+v", c0)
+	}
+	c5 := s.ToCHS(5)
+	if c5 != (CHS{0, 0, 5}) {
+		t.Fatalf("block 5 at %+v", c5)
+	}
+	c6 := s.ToCHS(6)
+	if c6 != (CHS{0, 1, 0}) {
+		t.Fatalf("block 6 at %+v (head switch expected)", c6)
+	}
+	cc := s.ToCHS(int64(s.BlocksPerCylinder()))
+	if cc != (CHS{1, 0, 0}) {
+		t.Fatalf("first block of cylinder 1 at %+v", cc)
+	}
+}
+
+func TestToCHSPanicsOutOfRange(t *testing.T) {
+	s := Default()
+	for _, b := range []int64{-1, s.BlocksPerDisk()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ToCHS(%d) should panic", b)
+				}
+			}()
+			s.ToCHS(b)
+		}()
+	}
+}
+
+func TestAngleOfBlock(t *testing.T) {
+	s := Default()
+	if a := s.AngleOfBlock(0); a != 0 {
+		t.Fatalf("angle of track block 0 = %f", a)
+	}
+	if a := s.AngleOfBlock(3); math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("angle of track block 3 = %f, want 0.5", a)
+	}
+}
+
+func TestSeekCalibration(t *testing.T) {
+	s := Default()
+	m, err := CalibrateSeek(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.A < 0 || m.B < 0 {
+		t.Fatalf("negative coefficients: %+v", m)
+	}
+	// Pinned points.
+	if got := m.TimeMS(0); got != 0 {
+		t.Fatalf("seek(0) = %f, want 0", got)
+	}
+	if got := m.TimeMS(1); math.Abs(got-s.MinSeekMS) > 1e-9 {
+		t.Fatalf("seek(1) = %f, want %f", got, s.MinSeekMS)
+	}
+	if got := m.TimeMS(s.Cylinders - 1); math.Abs(got-s.MaxSeekMS) > 1e-6 {
+		t.Fatalf("full stroke = %f, want %f", got, s.MaxSeekMS)
+	}
+	if got := m.MeanMS(); math.Abs(got-s.AvgSeekMS) > 1e-6 {
+		t.Fatalf("mean seek = %f, want %f", got, s.AvgSeekMS)
+	}
+	// Monotonic non-decreasing.
+	prev := 0.0
+	for d := 0; d < s.Cylinders; d++ {
+		v := m.TimeMS(d)
+		if v < prev-1e-12 {
+			t.Fatalf("seek not monotone at distance %d", d)
+		}
+		prev = v
+	}
+	// Time() converts consistently (within integer-nanosecond rounding).
+	if dt := m.Time(100); math.Abs(sim.Millis(dt)-m.TimeMS(100)) > 1e-5 {
+		t.Fatalf("Time/TimeMS mismatch: %f vs %f", sim.Millis(dt), m.TimeMS(100))
+	}
+}
+
+func TestMustCalibrateSeekPanics(t *testing.T) {
+	s := Default()
+	s.AvgSeekMS = 100 // > max
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCalibrateSeek(s)
+}

@@ -1,0 +1,99 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"raidsim/internal/sim"
+)
+
+// SeekModel evaluates the paper's non-linear seek time curve
+//
+//	t(d) = a*sqrt(d-1) + b*(d-1) + c   for seek distance d >= 1 cylinder,
+//	t(0) = 0,
+//
+// with coefficients calibrated so the curve hits the drive's catalog
+// single-cylinder, average, and full-stroke seek times. "Average" is taken
+// over the distance distribution of independent uniformly random source and
+// target cylinders, conditioned on actually moving (d >= 1) — the standard
+// way drive catalogs define average seek.
+type SeekModel struct {
+	A, B, C   float64 // coefficients, in milliseconds
+	Cylinders int
+}
+
+// CalibrateSeek solves for a and b given c = MinSeekMS so that the mean
+// seek equals AvgSeekMS and the full-stroke seek equals MaxSeekMS.
+func CalibrateSeek(s Spec) (SeekModel, error) {
+	if err := s.Validate(); err != nil {
+		return SeekModel{}, err
+	}
+	c := s.MinSeekMS
+	cyls := s.Cylinders
+	maxD := float64(cyls - 1)
+
+	// Distance distribution for uniform random pairs: P(d) = 2(C-d)/C^2
+	// for 1 <= d <= C-1. Compute conditional moments E[sqrt(d-1) | d>=1]
+	// and E[d-1 | d>=1].
+	var wSum, sqrtSum, linSum float64
+	for d := 1; d < cyls; d++ {
+		w := 2 * float64(cyls-d)
+		wSum += w
+		sqrtSum += w * math.Sqrt(float64(d-1))
+		linSum += w * float64(d-1)
+	}
+	eSqrt := sqrtSum / wSum
+	eLin := linSum / wSum
+
+	// Solve:
+	//   a*eSqrt        + b*eLin        = avg - c
+	//   a*sqrt(maxD-1) + b*(maxD-1)    = max - c
+	m11, m12, r1 := eSqrt, eLin, s.AvgSeekMS-c
+	m21, m22, r2 := math.Sqrt(maxD-1), maxD-1, s.MaxSeekMS-c
+	det := m11*m22 - m12*m21
+	if math.Abs(det) < 1e-12 {
+		return SeekModel{}, fmt.Errorf("geom: singular seek calibration for %+v", s)
+	}
+	a := (r1*m22 - r2*m12) / det
+	b := (m11*r2 - m21*r1) / det
+	if a < 0 || b < 0 {
+		return SeekModel{}, fmt.Errorf("geom: seek calibration gave negative coefficients a=%g b=%g; spec seek times are inconsistent", a, b)
+	}
+	return SeekModel{A: a, B: b, C: c, Cylinders: cyls}, nil
+}
+
+// MustCalibrateSeek is CalibrateSeek that panics on error, for use with
+// known-good specs.
+func MustCalibrateSeek(s Spec) SeekModel {
+	m, err := CalibrateSeek(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TimeMS returns the seek time in milliseconds for a move of d cylinders.
+func (m SeekModel) TimeMS(d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	x := float64(d - 1)
+	return m.A*math.Sqrt(x) + m.B*x + m.C
+}
+
+// Time returns the seek time as a simulation duration.
+func (m SeekModel) Time(d int) sim.Time {
+	return sim.FromMillis(m.TimeMS(d))
+}
+
+// MeanMS returns the model's mean seek time over the random-pair distance
+// distribution conditioned on d >= 1 (should equal the calibrated average).
+func (m SeekModel) MeanMS() float64 {
+	var wSum, tSum float64
+	for d := 1; d < m.Cylinders; d++ {
+		w := 2 * float64(m.Cylinders-d)
+		wSum += w
+		tSum += w * m.TimeMS(d)
+	}
+	return tSum / wSum
+}

@@ -1,0 +1,50 @@
+package layout_test
+
+import (
+	"fmt"
+
+	"raidsim/internal/layout"
+)
+
+// ExampleRAID5 shows the rotated-parity geometry of Figure 1: within each
+// stripe the parity block moves to the next disk.
+func ExampleRAID5() {
+	lay := layout.NewRAID5(3, 12, 1) // 3 data disks' capacity + 1, unit = 1 block
+	for l := int64(0); l < 6; l++ {
+		d := lay.Map(l)
+		p := lay.Parity(l)
+		fmt.Printf("block %d -> disk %d (parity on disk %d)\n", l, d.Disk, p.Disk)
+	}
+	// Output:
+	// block 0 -> disk 1 (parity on disk 0)
+	// block 1 -> disk 2 (parity on disk 0)
+	// block 2 -> disk 3 (parity on disk 0)
+	// block 3 -> disk 0 (parity on disk 1)
+	// block 4 -> disk 2 (parity on disk 1)
+	// block 5 -> disk 3 (parity on disk 1)
+}
+
+// ExampleParityStriping shows Gray et al.'s organization: data stays
+// contiguous on each disk, parity lives in a reserved area elsewhere.
+func ExampleParityStriping() {
+	lay := layout.NewParityStriping(3, 16, layout.EndPlacement, 0)
+	for _, l := range []int64{0, 1, 12} { // first blocks of disks 0 and 1
+		d := lay.Map(l)
+		p := lay.Parity(l)
+		fmt.Printf("block %2d -> disk %d block %d, parity disk %d\n", l, d.Disk, d.Block, p.Disk)
+	}
+	// Output:
+	// block  0 -> disk 0 block 0, parity disk 1
+	// block  1 -> disk 0 block 1, parity disk 1
+	// block 12 -> disk 1 block 0, parity disk 2
+}
+
+// ExampleRAID4 shows the dedicated parity disk.
+func ExampleRAID4() {
+	lay := layout.NewRAID4(4, 20, 1)
+	fmt.Println("parity disk:", lay.ParityDisk())
+	fmt.Println("parity of block 7 on disk:", lay.Parity(7).Disk)
+	// Output:
+	// parity disk: 4
+	// parity of block 7 on disk: 4
+}

@@ -1,0 +1,20 @@
+package model_test
+
+import (
+	"fmt"
+
+	"raidsim/internal/model"
+)
+
+// ExampleRecommendPlacement reproduces the section 4.2.3 reasoning: with
+// Trace 1's 10% write fraction, parity areas out-traffic data areas only
+// for arrays larger than ten data disks.
+func ExampleRecommendPlacement() {
+	for _, n := range []int{5, 10, 15} {
+		fmt.Printf("N=%-2d -> %s\n", n, model.RecommendPlacement(n, 0.10))
+	}
+	// Output:
+	// N=5  -> end
+	// N=10 -> end
+	// N=15 -> middle
+}

@@ -1,0 +1,211 @@
+package recovery
+
+import (
+	"testing"
+
+	"raidsim/internal/geom"
+	"raidsim/internal/rng"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+func baseConfig() Config {
+	return Config{
+		N:            4,
+		Spec:         geom.Default(),
+		StripingUnit: 1,
+		FailedDisk:   -1,
+		Seed:         3,
+	}
+}
+
+func load(t *testing.T, s *Sim, eng *sim.Engine, n int, writeFrac float64) {
+	t.Helper()
+	src := rng.New(11)
+	capacity := s.DataBlocks()
+	for i := 0; i < n; i++ {
+		i := i
+		op := trace.Read
+		if src.Bool(writeFrac) {
+			op = trace.Write
+		}
+		lba := src.Int63n(capacity)
+		eng.At(sim.Time(i)*5*sim.Millisecond, func() { s.Submit(op, lba) })
+	}
+	eng.Run()
+	for i := 0; i < 10000 && !s.Drained(); i++ {
+		eng.RunFor(10 * sim.Millisecond)
+	}
+	if !s.Drained() {
+		t.Fatal("did not drain")
+	}
+}
+
+func TestHealthyHasNoDegradedOps(t *testing.T) {
+	eng := sim.New()
+	s, err := New(eng, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(t, s, eng, 500, 0.3)
+	res := s.Results()
+	if res.DegradedResp.N() != 0 {
+		t.Fatalf("healthy array recorded %d degraded ops", res.DegradedResp.N())
+	}
+	if res.Resp.N() != 500 {
+		t.Fatalf("responses %d", res.Resp.N())
+	}
+}
+
+func TestDegradedIsSlower(t *testing.T) {
+	healthyEng := sim.New()
+	healthy, err := New(healthyEng, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(t, healthy, healthyEng, 800, 0.3)
+
+	cfg := baseConfig()
+	cfg.FailedDisk = 0
+	degEng := sim.New()
+	degraded, err := New(degEng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(t, degraded, degEng, 800, 0.3)
+
+	h := healthy.Results().Resp.Mean()
+	d := degraded.Results().Resp.Mean()
+	if d <= h {
+		t.Fatalf("degraded (%.2fms) not slower than healthy (%.2fms)", d, h)
+	}
+	if degraded.Results().DegradedResp.N() == 0 {
+		t.Fatal("no degraded operations recorded")
+	}
+}
+
+func TestDegradedReadFansOut(t *testing.T) {
+	cfg := baseConfig()
+	cfg.FailedDisk = 0
+	eng := sim.New()
+	s, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an lba homed on the failed disk.
+	var lba int64 = -1
+	for l := int64(0); l < 100; l++ {
+		if s.lay.Map(l).Disk == 0 {
+			lba = l
+			break
+		}
+	}
+	if lba < 0 {
+		t.Fatal("no block on disk 0 in the first 100")
+	}
+	s.Submit(trace.Read, lba)
+	eng.Run()
+	reads := 0
+	for d, dk := range s.disks {
+		if d == 0 {
+			if dk.S.Accesses != 0 {
+				t.Fatal("failed disk was accessed")
+			}
+			continue
+		}
+		reads += int(dk.S.Reads)
+	}
+	// N-1 surviving members + parity = N reads.
+	if reads != cfg.N {
+		t.Fatalf("degraded read issued %d disk reads, want %d", reads, cfg.N)
+	}
+}
+
+func TestRebuildCompletesAndRestoresService(t *testing.T) {
+	cfg := baseConfig()
+	cfg.FailedDisk = 1
+	cfg.Rebuild = true
+	cfg.RebuildStart = 0
+	cfg.RebuildChunk = 480
+	eng := sim.New()
+	s, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && !s.Results().RebuildDone; i++ {
+		eng.RunFor(100 * sim.Millisecond)
+	}
+	res := s.Results()
+	if !res.RebuildDone {
+		t.Fatal("rebuild never completed")
+	}
+	if res.RebuildTime <= 0 {
+		t.Fatal("zero rebuild time")
+	}
+	wantChunks := (cfg.Spec.BlocksPerDisk() + int64(cfg.RebuildChunk) - 1) / int64(cfg.RebuildChunk)
+	if res.RebuildChunks != wantChunks {
+		t.Fatalf("chunks %d, want %d", res.RebuildChunks, wantChunks)
+	}
+	// After rebuild, reads of disk-1 blocks are normal again.
+	var lba int64
+	for l := int64(0); l < 100; l++ {
+		if s.lay.Map(l).Disk == 1 {
+			lba = l
+			break
+		}
+	}
+	before := s.disks[1].S.Reads
+	s.Submit(trace.Read, lba)
+	for i := 0; i < 1000 && !s.Drained(); i++ {
+		eng.RunFor(10 * sim.Millisecond)
+	}
+	if s.disks[1].S.Reads != before+1 {
+		t.Fatal("rebuilt disk not serving reads")
+	}
+	if s.Results().DegradedResp.N() != 0 {
+		t.Fatal("post-rebuild read counted as degraded")
+	}
+}
+
+func TestRebuildPauseThrottles(t *testing.T) {
+	times := map[string]sim.Time{}
+	for _, tc := range []struct {
+		name  string
+		pause sim.Time
+	}{{"fast", 0}, {"slow", 50 * sim.Millisecond}} {
+		cfg := baseConfig()
+		cfg.FailedDisk = 0
+		cfg.Rebuild = true
+		cfg.RebuildChunk = 960
+		cfg.RebuildPause = tc.pause
+		eng := sim.New()
+		s, err := New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100000 && !s.Results().RebuildDone; i++ {
+			eng.RunFor(sim.Second)
+		}
+		if !s.Results().RebuildDone {
+			t.Fatalf("%s rebuild incomplete", tc.name)
+		}
+		times[tc.name] = s.Results().RebuildTime
+	}
+	if times["slow"] <= times["fast"] {
+		t.Fatalf("pause did not slow rebuild: %v", times)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.New()
+	bad := baseConfig()
+	bad.N = 1
+	if _, err := New(eng, bad); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	bad = baseConfig()
+	bad.FailedDisk = 99
+	if _, err := New(eng, bad); err == nil {
+		t.Fatal("bad failed disk accepted")
+	}
+}

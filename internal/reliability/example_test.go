@@ -1,0 +1,20 @@
+package reliability_test
+
+import (
+	"fmt"
+
+	"raidsim/internal/reliability"
+)
+
+// Example reproduces the paper's introductory footnote: a large disk farm
+// without redundancy loses data within a month on average.
+func Example() {
+	p := reliability.Params{DiskMTTFHours: 100000, MTTRHours: 24}
+	farm := reliability.FarmMTTDLHours(p, 150)
+	raid5 := reliability.ArrayFarmMTTDLHours(p, 10, 15) // same data on 15 N=10 arrays
+	fmt.Printf("150-disk farm MTTDL: %.1f days\n", reliability.HoursToDays(farm))
+	fmt.Printf("as RAID5 arrays:     %.0f days\n", reliability.HoursToDays(raid5))
+	// Output:
+	// 150-disk farm MTTDL: 27.8 days
+	// as RAID5 arrays:     10522 days
+}

@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plot renders the figure as an ASCII line chart: y-axis scaled to the
+// series range, one glyph per series, x-ticks along the bottom. It is a
+// terminal-grade approximation of the paper's figures — exact values come
+// from the accompanying table.
+const (
+	plotHeight = 16
+	plotColW   = 7 // columns per x tick
+)
+
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// RenderPlot writes the figure as an ASCII chart followed by a legend.
+// Series values that are NaN are skipped.
+func (f *Figure) RenderPlot(w io.Writer) error {
+	if len(f.XTicks) == 0 || len(f.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", f.Title)
+		return err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		_, err := fmt.Fprintf(w, "%s: (all values NaN)\n", f.Title)
+		return err
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// A little headroom so the top point isn't glued to the frame.
+	span := hi - lo
+	hi += span * 0.05
+	lo -= span * 0.05
+	if lo < 0 && span > 0 && hi > 0 {
+		// Don't invent negative response times.
+		lo = math.Max(lo, 0)
+	}
+
+	width := len(f.XTicks) * plotColW
+	grid := make([][]byte, plotHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(plotHeight-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= plotHeight {
+			r = plotHeight - 1
+		}
+		return plotHeight - 1 - r // row 0 is the top
+	}
+	colOf := func(i int) int { return i*plotColW + plotColW/2 }
+
+	for si, s := range f.Series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		prevOK := false
+		var prevR, prevC int
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				prevOK = false
+				continue
+			}
+			r, c := rowOf(v), colOf(i)
+			// Light interpolation between points: a sparse dotted segment.
+			if prevOK && c > prevC {
+				steps := c - prevC
+				for k := 1; k < steps; k += 2 {
+					ir := prevR + (r-prevR)*k/steps
+					ic := prevC + k
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[r][c] = g
+			prevOK, prevR, prevC = true, r, c
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	for r := 0; r < plotHeight; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.1f", hi)
+		case plotHeight - 1:
+			label = fmt.Sprintf("%8.1f", lo)
+		case plotHeight / 2:
+			label = fmt.Sprintf("%8.1f", (hi+lo)/2)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	// X tick labels, centered per column.
+	tickLine := make([]byte, width)
+	for i := range tickLine {
+		tickLine[i] = ' '
+	}
+	for i, tk := range f.XTicks {
+		start := colOf(i) - len(tk)/2
+		if start < 0 {
+			start = 0
+		}
+		for j := 0; j < len(tk) && start+j < width; j++ {
+			tickLine[start+j] = tk[j]
+		}
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 8), string(tickLine))
+	fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", 8), f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%s  %c = %s\n", strings.Repeat(" ", 8), seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

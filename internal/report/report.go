@@ -1,0 +1,158 @@
+// Package report renders experiment results as fixed-width ASCII tables
+// and "figures" (series tables), plus CSV for external plotting. All
+// output is deterministic: rows and columns appear in the order given.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple grid with a title, column headers and string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; it panics if the width disagrees with Columns.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Columns) > 0 && len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table in aligned fixed-width form.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(cell)
+			// Right-align numbers (cells starting with a digit, +, -, or .).
+			if len(cell) > 0 && strings.ContainsRune("0123456789+-.", rune(cell[0])) && i > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			} else {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (no quoting needed: cells are
+// numbers and identifiers).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one line of a figure: a name and y-values over the shared
+// x-axis of the Figure it belongs to.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure reproduces a paper figure as a table of series: x-axis values in
+// the first column, one column per series.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string
+	Series []Series
+	Notes  []string
+}
+
+// Add appends a series; it panics if the length disagrees with XTicks.
+func (f *Figure) Add(name string, values ...float64) {
+	if len(values) != len(f.XTicks) {
+		panic(fmt.Sprintf("report: series %q has %d values, figure has %d ticks", name, len(values), len(f.XTicks)))
+	}
+	f.Series = append(f.Series, Series{Name: name, Values: values})
+}
+
+// AddNote appends a footnote line.
+func (f *Figure) AddNote(format string, args ...interface{}) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table converts the figure to a Table (x down the rows).
+func (f *Figure) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("%s  [y: %s]", f.Title, f.YLabel),
+		Columns: append([]string{f.XLabel}, names(f.Series)...),
+		Notes:   f.Notes,
+	}
+	for i, x := range f.XTicks {
+		row := []string{x}
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%.2f", s.Values[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Render writes the figure as an aligned table.
+func (f *Figure) Render(w io.Writer) error { return f.Table().Render(w) }
+
+// RenderCSV writes the figure as CSV.
+func (f *Figure) RenderCSV(w io.Writer) error { return f.Table().RenderCSV(w) }
+
+func names(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1.00")
+	tb.AddRow("beta", "22.50")
+	tb.AddNote("a note %d", 7)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "name", "alpha", "22.50", "note: a note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Numeric cells right-align: "1.00" and "22.50" end at the same column.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var alphaLine, betaLine string
+	for _, l := range lines {
+		if strings.Contains(l, "alpha") {
+			alphaLine = l
+		}
+		if strings.Contains(l, "beta") {
+			betaLine = l
+		}
+	}
+	if len(alphaLine) != len(betaLine) {
+		t.Fatalf("rows not aligned:\n%q\n%q", alphaLine, betaLine)
+	}
+}
+
+func TestTableRowWidthPanic(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-width row accepted")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"x", "y"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("3", "4")
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n3,4\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := &Figure{
+		Title:  "Figure X",
+		XLabel: "N",
+		YLabel: "ms",
+		XTicks: []string{"5", "10"},
+	}
+	f.Add("base", 1.5, 2.5)
+	f.Add("raid5", 2.0, 3.0)
+	f.AddNote("caveat")
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure X", "base", "raid5", "1.50", "3.00", "caveat"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureLengthPanic(t *testing.T) {
+	f := &Figure{XTicks: []string{"1", "2", "3"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short series accepted")
+		}
+	}()
+	f.Add("s", 1.0)
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{XLabel: "x", YLabel: "y", XTicks: []string{"a"}}
+	f.Add("s1", 9)
+	var b strings.Builder
+	if err := f.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x,s1") || !strings.Contains(b.String(), "a,9.00") {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestFigurePlot(t *testing.T) {
+	f := &Figure{
+		Title:  "plot demo",
+		XLabel: "N",
+		YLabel: "ms",
+		XTicks: []string{"5", "10", "15"},
+	}
+	f.Add("a", 10, 20, 30)
+	f.Add("b", 30, 20, 10)
+	var b strings.Builder
+	if err := f.RenderPlot(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"plot demo", "* = a", "o = b", "x: N, y: ms", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The two series cross; both glyphs must appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series glyphs missing")
+	}
+}
+
+func TestFigurePlotHandlesNaN(t *testing.T) {
+	f := &Figure{Title: "nan", XLabel: "x", YLabel: "y", XTicks: []string{"1", "2"}}
+	f.Add("s", math.NaN(), 5)
+	var b strings.Builder
+	if err := f.RenderPlot(&b); err != nil {
+		t.Fatal(err)
+	}
+	allNaN := &Figure{Title: "allnan", XLabel: "x", YLabel: "y", XTicks: []string{"1"}}
+	allNaN.Add("s", math.NaN())
+	b.Reset()
+	if err := allNaN.RenderPlot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "NaN") {
+		t.Fatal("all-NaN figure should say so")
+	}
+}
+
+func TestFigurePlotEmpty(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	var b strings.Builder
+	if err := f.RenderPlot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty figure should say so")
+	}
+}

@@ -1,0 +1,122 @@
+// Package rng provides a small, fast, deterministic random number
+// generator plus the distributions the workload generator and the disk
+// model need. It is a 64-bit PCG (PCG-XSH-RR style state update with an
+// xorshift-multiply output permutation), splittable so that independent
+// simulation components can derive uncorrelated streams from one seed.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source. It is not safe for
+// concurrent use; derive one per goroutine with Split.
+type Source struct {
+	state uint64
+	inc   uint64
+}
+
+const (
+	pcgMult = 6364136223846793005
+	mix1    = 0xbf58476d1ce4e5b9
+	mix2    = 0x94d049bb133111eb
+)
+
+// splitmix64 is used for seeding and splitting.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * mix1
+	z = (z ^ (z >> 27)) * mix2
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds give independent
+// streams.
+func New(seed uint64) *Source {
+	s := seed
+	st := splitmix64(&s)
+	inc := splitmix64(&s) | 1 // stream selector must be odd
+	return &Source{state: st, inc: inc}
+}
+
+// Split derives a new independent Source from s, advancing s. Use it to
+// hand uncorrelated streams to sub-components.
+func (s *Source) Split() *Source {
+	return New(s.Uint64())
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*pcgMult + s.inc
+	z := s.state
+	z = (z ^ (z >> 30)) * mix1
+	z = (z ^ (z >> 27)) * mix2
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (s *Source) Exp(mean float64) float64 {
+	u := s.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = 1.0 / (1 << 53)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Geometric returns a value in {1, 2, ...} with the given mean (mean >= 1):
+// the number of Bernoulli(1/mean) trials up to and including the first
+// success.
+func (s *Source) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1.0 / mean
+	u := s.Float64()
+	if u <= 0 {
+		u = 1.0 / (1 << 53)
+	}
+	k := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

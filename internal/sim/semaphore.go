@@ -1,0 +1,64 @@
+package sim
+
+// Semaphore is a counting semaphore that lives in simulated time: Acquire
+// either grants immediately or queues the caller's callback until a unit is
+// released. It models finite resources such as track buffers.
+type Semaphore struct {
+	eng     *Engine
+	free    int
+	cap     int
+	waiters []func()
+	// peakWait tracks the maximum number of simultaneously queued waiters,
+	// a cheap congestion indicator for stats.
+	peakWait int
+}
+
+// NewSemaphore returns a semaphore with n units available.
+func NewSemaphore(eng *Engine, n int) *Semaphore {
+	if n < 0 {
+		panic("sim: semaphore capacity must be non-negative")
+	}
+	return &Semaphore{eng: eng, free: n, cap: n}
+}
+
+// Free reports the number of units currently available.
+func (s *Semaphore) Free() int { return s.free }
+
+// Cap reports the total capacity.
+func (s *Semaphore) Cap() int { return s.cap }
+
+// Waiting reports the number of queued acquirers.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// PeakWaiting reports the maximum queue length observed.
+func (s *Semaphore) PeakWaiting() int { return s.peakWait }
+
+// Acquire requests one unit. fn runs (in simulated time) once the unit is
+// granted — immediately if one is free, otherwise when released. FIFO order.
+func (s *Semaphore) Acquire(fn func()) {
+	if s.free > 0 {
+		s.free--
+		fn()
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+	if len(s.waiters) > s.peakWait {
+		s.peakWait = len(s.waiters)
+	}
+}
+
+// Release returns one unit, immediately handing it to the oldest waiter if
+// any. The waiter's callback runs synchronously at the current instant.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		fn := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		fn()
+		return
+	}
+	s.free++
+	if s.free > s.cap {
+		panic("sim: semaphore released more than acquired")
+	}
+}

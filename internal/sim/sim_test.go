@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := New()
+	var got []int
+	eng.At(30, func() { got = append(got, 3) })
+	eng.At(10, func() { got = append(got, 1) })
+	eng.At(20, func() { got = append(got, 2) })
+	eng.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if eng.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", eng.Now())
+	}
+	if eng.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3", eng.Steps())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	eng := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		eng.At(42, func() { got = append(got, i) })
+	}
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: position %d has %d", i, v)
+		}
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	eng := New()
+	eng.At(100, func() {})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	eng.At(50, func() {})
+}
+
+func TestEngineAfterNegativeClamps(t *testing.T) {
+	eng := New()
+	eng.At(10, func() {
+		eng.After(-5, func() {
+			if eng.Now() != 10 {
+				t.Errorf("negative After ran at %d, want 10", eng.Now())
+			}
+		})
+	})
+	eng.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	eng := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		eng.At(at, func() { fired = append(fired, at) })
+	}
+	eng.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(12) fired %v", fired)
+	}
+	if eng.Now() != 12 {
+		t.Fatalf("clock = %d, want 12", eng.Now())
+	}
+	eng.RunFor(8)
+	if len(fired) != 4 || eng.Now() != 20 {
+		t.Fatalf("RunFor(8): fired %v now %d", fired, eng.Now())
+	}
+}
+
+// TestEngineCascade: events scheduling events preserve causality.
+func TestEngineCascade(t *testing.T) {
+	eng := New()
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 1000 {
+			eng.After(1, step)
+		}
+	}
+	eng.After(1, step)
+	eng.Run()
+	if depth != 1000 {
+		t.Fatalf("cascade depth %d, want 1000", depth)
+	}
+	if eng.Now() != 1000 {
+		t.Fatalf("clock %d, want 1000", eng.Now())
+	}
+}
+
+// TestQuickEngineSorted: whatever order events are scheduled in, they
+// execute in non-decreasing time order.
+func TestQuickEngineSorted(t *testing.T) {
+	f := func(times []uint16) bool {
+		eng := New()
+		var got []Time
+		for _, at := range times {
+			at := Time(at)
+			eng.At(at, func() { got = append(got, at) })
+		}
+		eng.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	eng := New()
+	count := 0
+	tk := NewTicker(eng, 10, func() {
+		count++
+		if count == 5 {
+			// Stop from within the callback.
+		}
+	})
+	eng.RunUntil(55)
+	if count != 5 {
+		t.Fatalf("ticker fired %d times by t=55, want 5", count)
+	}
+	tk.Stop()
+	eng.RunUntil(200)
+	if count != 5 {
+		t.Fatalf("ticker fired after Stop: %d", count)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	eng := New()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(eng, 10, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	eng.RunUntil(1000)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+}
+
+func TestTickerBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period should panic")
+		}
+	}()
+	NewTicker(New(), 0, func() {})
+}
+
+func TestSemaphore(t *testing.T) {
+	eng := New()
+	s := NewSemaphore(eng, 2)
+	var order []int
+	acquire := func(id int) {
+		s.Acquire(func() { order = append(order, id) })
+	}
+	acquire(1)
+	acquire(2)
+	acquire(3) // queued
+	acquire(4) // queued
+	if s.Free() != 0 || s.Waiting() != 2 {
+		t.Fatalf("free=%d waiting=%d", s.Free(), s.Waiting())
+	}
+	s.Release() // hands to 3
+	s.Release() // hands to 4
+	if len(order) != 4 {
+		t.Fatalf("grants: %v", order)
+	}
+	for i, id := range []int{1, 2, 3, 4} {
+		if order[i] != id {
+			t.Fatalf("grant order %v, want FIFO", order)
+		}
+	}
+	if s.PeakWaiting() != 2 {
+		t.Fatalf("peak waiting = %d, want 2", s.PeakWaiting())
+	}
+	s.Release()
+	s.Release()
+	if s.Free() != 2 {
+		t.Fatalf("free = %d, want 2", s.Free())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release should panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestMillisConversions(t *testing.T) {
+	if Millis(1500000) != 1.5 {
+		t.Fatalf("Millis(1.5ms in ns) = %f", Millis(1500000))
+	}
+	if FromMillis(2.5) != 2500000 {
+		t.Fatalf("FromMillis(2.5) = %d", FromMillis(2.5))
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatal("unit constants inconsistent")
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+// Ticker invokes a callback at a fixed period until stopped. It is used for
+// periodic background processes such as the cache destage scan.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	stopped bool
+}
+
+// NewTicker schedules fn to run every period nanoseconds, with the first
+// firing one period from now. It panics if period is not positive.
+func NewTicker(eng *Engine, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. A firing already dispatched for the current
+// instant is suppressed.
+func (t *Ticker) Stop() { t.stopped = true }

@@ -1,0 +1,220 @@
+// Package stats provides the streaming statistics the simulator collects:
+// response-time summaries (mean, variance, quantiles via a fixed-bin
+// histogram), time-weighted utilization, and per-disk counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates scalar samples with Welford's online algorithm plus
+// a log-scale histogram good enough for the quantiles the paper reports.
+type Summary struct {
+	n        int64
+	mean     float64
+	m2       float64
+	min, max float64
+	hist     histogram
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	s.hist.add(x)
+}
+
+// N returns the sample count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) from
+// the histogram. Accuracy is within one bin width (~7% relative).
+func (s *Summary) Quantile(q float64) float64 {
+	return s.hist.quantile(q, s.min, s.max)
+}
+
+// Merge folds other into s. Use it to aggregate per-array summaries.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		s.hist = o.hist
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	d := o.mean - s.mean
+	tot := n1 + n2
+	s.m2 += o.m2 + d*d*n1*n2/tot
+	s.mean += d * n2 / tot
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.hist.merge(&o.hist)
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f",
+		s.n, s.Mean(), s.Std(), s.Min(), s.Max())
+}
+
+// histogram is a geometric-bin histogram covering [lo, inf) with bins
+// growing by a fixed ratio. Values are expected to be positive
+// response times in milliseconds-ish magnitude; bin 0 also absorbs
+// zero/negative values.
+type histogram struct {
+	counts [nBins]int64
+}
+
+const (
+	nBins    = 256
+	histLo   = 1e-3 // smallest resolved value
+	histStep = 1.07 // bin growth ratio; 256 bins reach ~3.3e4 * histLo
+)
+
+var logStep = math.Log(histStep)
+
+func binOf(x float64) int {
+	if x <= histLo {
+		return 0
+	}
+	b := int(math.Log(x/histLo) / logStep)
+	if b >= nBins {
+		b = nBins - 1
+	}
+	return b
+}
+
+func binLow(b int) float64 {
+	return histLo * math.Pow(histStep, float64(b))
+}
+
+func (h *histogram) add(x float64) {
+	h.counts[binOf(x)]++
+}
+
+func (h *histogram) merge(o *histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+}
+
+func (h *histogram) quantile(q float64, min, max float64) float64 {
+	var total int64
+	for _, c := range h.counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			// Midpoint of the bin, clamped to observed range.
+			v := binLow(b) * math.Sqrt(histStep)
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+	}
+	return max
+}
+
+// Counter is a simple named tally.
+type Counter struct {
+	counts map[string]int64
+}
+
+// Inc adds n to the named counter.
+func (c *Counter) Inc(name string, n int64) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += n
+}
+
+// Get returns the named count.
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counter) Names() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds other into c.
+func (c *Counter) Merge(o *Counter) {
+	for k, v := range o.counts {
+		c.Inc(k, v)
+	}
+}

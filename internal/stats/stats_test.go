@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"raidsim/internal/rng"
+)
+
+func naiveMeanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	if len(xs) > 1 {
+		variance /= float64(len(xs) - 1)
+	} else {
+		variance = 0
+	}
+	return
+}
+
+func TestSummaryAgainstNaive(t *testing.T) {
+	src := rng.New(1)
+	xs := make([]float64, 5000)
+	var s Summary
+	for i := range xs {
+		xs[i] = src.Exp(13) + 0.5
+		s.Add(xs[i])
+	}
+	wantMean, wantVar := naiveMeanVar(xs)
+	if math.Abs(s.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean %f, want %f", s.Mean(), wantMean)
+	}
+	if math.Abs(s.Var()-wantVar)/wantVar > 1e-9 {
+		t.Fatalf("var %f, want %f", s.Var(), wantVar)
+	}
+	if s.N() != 5000 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Min() <= 0.5-1e-12 || s.Max() <= s.Min() {
+		t.Fatalf("min/max wrong: %f/%f", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary should read as zeros")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestSummaryMergeEqualsWhole(t *testing.T) {
+	f := func(seed uint64, splitRaw uint8) bool {
+		src := rng.New(seed)
+		n := 200
+		split := int(splitRaw) % n
+		var whole, a, b Summary
+		for i := 0; i < n; i++ {
+			x := src.Exp(7)
+			whole.Add(x)
+			if i < split {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-whole.Var()) < 1e-6 &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileApproximation(t *testing.T) {
+	src := rng.New(9)
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(src.Exp(20)) // exponential: p50 = 20*ln2 = 13.86, p95 = 59.9
+	}
+	if q := s.Quantile(0.5); q < 12 || q > 16 {
+		t.Fatalf("p50 = %f, want ~13.9", q)
+	}
+	if q := s.Quantile(0.95); q < 53 || q > 67 {
+		t.Fatalf("p95 = %f, want ~59.9", q)
+	}
+	if s.Quantile(0) != s.Min() || s.Quantile(1) != s.Max() {
+		t.Fatal("extreme quantiles should clamp to min/max")
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at %f", q)
+		}
+		prev = v
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc("a", 2)
+	c.Inc("b", 1)
+	c.Inc("a", 3)
+	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("zzz") != 0 {
+		t.Fatalf("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	var d Counter
+	d.Inc("b", 10)
+	c.Merge(&d)
+	if c.Get("b") != 11 {
+		t.Fatalf("merge failed: b = %d", c.Get("b"))
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var u Utilization
+	u.SetBusy(0)
+	u.SetIdle(30)
+	u.SetBusy(50)
+	u.SetIdle(60)
+	if got := u.BusyTime(100); got != 40 {
+		t.Fatalf("busy time = %d, want 40", got)
+	}
+	if got := u.Value(100); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("utilization = %f, want 0.4", got)
+	}
+	// Still-busy interval counts up to the query time.
+	u.SetBusy(100)
+	if got := u.BusyTime(110); got != 50 {
+		t.Fatalf("busy time while busy = %d, want 50", got)
+	}
+	// Double SetBusy is a no-op.
+	u.SetBusy(105)
+	if got := u.BusyTime(110); got != 50 {
+		t.Fatalf("double SetBusy changed accounting: %d", got)
+	}
+}
+
+func TestUtilizationStartsAtFirstObservation(t *testing.T) {
+	var u Utilization
+	u.SetBusy(1000)
+	u.SetIdle(1500)
+	if got := u.Value(2000); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization = %f, want 0.5 over [1000,2000]", got)
+	}
+}

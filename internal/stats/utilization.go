@@ -1,0 +1,59 @@
+package stats
+
+import "raidsim/internal/sim"
+
+// Utilization tracks the fraction of simulated time a server (disk,
+// channel) is busy, via busy-interval accumulation.
+type Utilization struct {
+	busySince sim.Time
+	busy      bool
+	total     sim.Time
+	started   sim.Time // first observation, for the denominator
+	last      sim.Time
+}
+
+// SetBusy marks the server busy starting at time t. Calling it while
+// already busy is a no-op.
+func (u *Utilization) SetBusy(t sim.Time) {
+	u.observe(t)
+	if !u.busy {
+		u.busy = true
+		u.busySince = t
+	}
+}
+
+// SetIdle marks the server idle at time t, accumulating the busy interval.
+func (u *Utilization) SetIdle(t sim.Time) {
+	u.observe(t)
+	if u.busy {
+		u.total += t - u.busySince
+		u.busy = false
+	}
+}
+
+func (u *Utilization) observe(t sim.Time) {
+	if u.last == 0 && u.total == 0 && !u.busy {
+		u.started = t
+	}
+	if t > u.last {
+		u.last = t
+	}
+}
+
+// BusyTime returns total accumulated busy time up to time t.
+func (u *Utilization) BusyTime(t sim.Time) sim.Time {
+	b := u.total
+	if u.busy && t > u.busySince {
+		b += t - u.busySince
+	}
+	return b
+}
+
+// Value returns the busy fraction over [firstObservation, t].
+func (u *Utilization) Value(t sim.Time) float64 {
+	span := t - u.started
+	if span <= 0 {
+		return 0
+	}
+	return float64(u.BusyTime(t)) / float64(span)
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"raidsim/internal/sim"
+	"raidsim/internal/stats"
+)
+
+// Analysis holds the deeper trace statistics tracestat -analyze reports:
+// the arrival process, temporal locality, and spatial structure that the
+// workload generator's knobs control. Comparing a synthetic trace's
+// Analysis against expectations is how the generator is validated.
+type Analysis struct {
+	// Arrival process.
+	InterArrival stats.Summary // ms between consecutive requests
+	BurstinessCV float64       // coefficient of variation of inter-arrivals
+	PeakMeanRate float64       // per-second arrival peak over mean
+
+	// Temporal locality.
+	UniqueBlocks    int64   // distinct blocks touched
+	UniqueFraction  float64 // distinct blocks / blocks referenced
+	ReReferenceP    float64 // P(block was referenced before)
+	ReadBeforeWrite float64 // P(write targets a previously read block)
+
+	// Spatial structure.
+	SameDiskP    float64       // P(consecutive requests hit the same logical disk)
+	SeekDistance stats.Summary // |Δblock| between consecutive refs on the same disk
+	SequentialP  float64       // P(next request on a disk starts exactly after the previous)
+}
+
+// Analyze computes an Analysis. Memory is O(distinct blocks).
+func Analyze(t *Trace) Analysis {
+	var a Analysis
+	seen := make(map[int64]struct{}, len(t.Records))
+	read := make(map[int64]struct{}, len(t.Records))
+	lastPerDisk := make(map[int]int64)
+	var blocksReferenced, reRefs int64
+	var writes, rbw int64
+	var samePairs, seqPairs, diskPairs int64
+
+	var prevAt sim.Time
+	var prevDisk = -1
+	rates := make(map[int64]int64)
+	for i, r := range t.Records {
+		if i > 0 {
+			a.InterArrival.Add(sim.Millis(r.At - prevAt))
+		}
+		prevAt = r.At
+		rates[r.At/sim.Second]++
+
+		d := t.Disk(r)
+		if prevDisk >= 0 {
+			diskPairs++
+			if d == prevDisk {
+				samePairs++
+			}
+		}
+		prevDisk = d
+
+		if last, ok := lastPerDisk[d]; ok {
+			delta := r.LBA - last
+			if delta < 0 {
+				delta = -delta
+			}
+			a.SeekDistance.Add(float64(delta))
+			if r.LBA == last {
+				seqPairs++
+			}
+		}
+		lastPerDisk[d] = r.LBA + int64(r.Blocks)
+
+		if r.Op == Write {
+			writes++
+			if _, ok := read[r.LBA]; ok {
+				rbw++
+			}
+		}
+		for b := r.LBA; b < r.LBA+int64(r.Blocks); b++ {
+			blocksReferenced++
+			if _, ok := seen[b]; ok {
+				reRefs++
+			} else {
+				seen[b] = struct{}{}
+			}
+			if r.Op == Read {
+				read[b] = struct{}{}
+			}
+		}
+	}
+
+	a.UniqueBlocks = int64(len(seen))
+	if blocksReferenced > 0 {
+		a.UniqueFraction = float64(len(seen)) / float64(blocksReferenced)
+		a.ReReferenceP = float64(reRefs) / float64(blocksReferenced)
+	}
+	if writes > 0 {
+		a.ReadBeforeWrite = float64(rbw) / float64(writes)
+	}
+	if diskPairs > 0 {
+		a.SameDiskP = float64(samePairs) / float64(diskPairs)
+	}
+	if n := a.SeekDistance.N(); n > 0 {
+		a.SequentialP = float64(seqPairs) / float64(n)
+	}
+	if m := a.InterArrival.Mean(); m > 0 {
+		a.BurstinessCV = a.InterArrival.Std() / m
+	}
+	var peak, total int64
+	for _, c := range rates {
+		total += c
+		if c > peak {
+			peak = c
+		}
+	}
+	if len(rates) > 0 && total > 0 {
+		mean := float64(total) / float64(len(rates))
+		a.PeakMeanRate = float64(peak) / mean
+	}
+	return a
+}
+
+// StackDistances samples LRU stack distances: for each re-reference, how
+// many distinct blocks were touched since the previous reference to the
+// same block. The returned slice is sorted ascending; quantiles of it
+// predict hit ratios (a cache of C blocks catches re-references with
+// stack distance < C). sampleEvery subsamples for speed (1 = exact).
+func StackDistances(t *Trace, sampleEvery int) []int {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	// LRU stack as a slice of blocks in recency order; O(n * stack) worst
+	// case, subsampled. Adequate for analysis duty.
+	pos := make(map[int64]int) // block -> index in stack
+	var stack []int64
+	var out []int
+	n := 0
+	for _, r := range t.Records {
+		b := r.LBA
+		if i, ok := pos[b]; ok {
+			// Distance = number of distinct blocks more recent than b.
+			d := len(stack) - 1 - i
+			n++
+			if n%sampleEvery == 0 {
+				out = append(out, d)
+			}
+			// Move to top.
+			copy(stack[i:], stack[i+1:])
+			stack[len(stack)-1] = b
+			for j := i; j < len(stack); j++ {
+				pos[stack[j]] = j
+			}
+		} else {
+			pos[b] = len(stack)
+			stack = append(stack, b)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HitRatioAt estimates the hit ratio a cache of the given size (blocks)
+// would achieve, from sorted stack distances and the total reference and
+// re-reference counts they were sampled from.
+func HitRatioAt(sorted []int, cacheBlocks int, reRefFraction float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchInts(sorted, cacheBlocks)
+	return reRefFraction * float64(idx) / float64(len(sorted))
+}
+
+// String renders the analysis as an aligned block.
+func (a Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  inter-arrival mean:      %.3f ms (CV %.2f)\n", a.InterArrival.Mean(), a.BurstinessCV)
+	fmt.Fprintf(&b, "  arrival peak/mean rate:  %.2f\n", a.PeakMeanRate)
+	fmt.Fprintf(&b, "  unique blocks:           %d (%.1f%% of references)\n", a.UniqueBlocks, a.UniqueFraction*100)
+	fmt.Fprintf(&b, "  re-reference fraction:   %.3f\n", a.ReReferenceP)
+	fmt.Fprintf(&b, "  read-before-write:       %.3f\n", a.ReadBeforeWrite)
+	fmt.Fprintf(&b, "  same-disk consecutives:  %.3f\n", a.SameDiskP)
+	fmt.Fprintf(&b, "  sequential continuation: %.3f\n", a.SequentialP)
+	fmt.Fprintf(&b, "  within-disk jump median: %.0f blocks\n", a.SeekDistance.Quantile(0.5))
+	return b.String()
+}

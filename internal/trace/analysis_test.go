@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"raidsim/internal/sim"
+)
+
+func analysisTrace() *Trace {
+	// Hand-built: 4 records on 2 disks with known relationships.
+	return &Trace{
+		Name: "a", NumDisks: 2, BlocksPerDisk: 1000,
+		Records: []Record{
+			{At: 0, Op: Read, LBA: 100, Blocks: 2},                     // disk 0
+			{At: 10 * sim.Millisecond, Op: Read, LBA: 102, Blocks: 1},  // disk 0, sequential
+			{At: 20 * sim.Millisecond, Op: Write, LBA: 100, Blocks: 1}, // disk 0, read-before-write
+			{At: 30 * sim.Millisecond, Op: Read, LBA: 1500, Blocks: 1}, // disk 1
+		},
+	}
+}
+
+func TestAnalyzeKnownTrace(t *testing.T) {
+	a := Analyze(analysisTrace())
+	if a.InterArrival.N() != 3 || math.Abs(a.InterArrival.Mean()-10) > 1e-9 {
+		t.Fatalf("inter-arrival: %v", a.InterArrival)
+	}
+	// Blocks referenced: 100,101,102,100,1500 = 5; unique = 4.
+	if a.UniqueBlocks != 4 {
+		t.Fatalf("unique blocks %d", a.UniqueBlocks)
+	}
+	if math.Abs(a.UniqueFraction-0.8) > 1e-9 {
+		t.Fatalf("unique fraction %f", a.UniqueFraction)
+	}
+	if math.Abs(a.ReReferenceP-0.2) > 1e-9 {
+		t.Fatalf("re-reference %f", a.ReReferenceP)
+	}
+	// One write, and its block (100) was read before.
+	if a.ReadBeforeWrite != 1 {
+		t.Fatalf("rbw %f", a.ReadBeforeWrite)
+	}
+	// Consecutive-disk pairs: (0,0),(0,0),(0,1) -> 2/3 same.
+	if math.Abs(a.SameDiskP-2.0/3) > 1e-9 {
+		t.Fatalf("same disk %f", a.SameDiskP)
+	}
+	// Disk-0 continuations: record 1 starts exactly at the previous end
+	// (102); record 2 does not. -> 1/2.
+	if math.Abs(a.SequentialP-0.5) > 1e-9 {
+		t.Fatalf("sequential %f", a.SequentialP)
+	}
+	if a.String() == "" {
+		t.Fatal("empty analysis rendering")
+	}
+}
+
+func TestStackDistances(t *testing.T) {
+	tr := &Trace{Name: "s", NumDisks: 1, BlocksPerDisk: 100}
+	// A B C A  ->  A's re-reference has stack distance 2 (B, C newer).
+	for i, b := range []int64{1, 2, 3, 1} {
+		tr.Records = append(tr.Records, Record{At: sim.Time(i), Op: Read, LBA: b, Blocks: 1})
+	}
+	d := StackDistances(tr, 1)
+	if len(d) != 1 || d[0] != 2 {
+		t.Fatalf("stack distances %v, want [2]", d)
+	}
+	// A A -> distance 0.
+	tr2 := &Trace{Name: "s2", NumDisks: 1, BlocksPerDisk: 100,
+		Records: []Record{
+			{At: 0, Op: Read, LBA: 5, Blocks: 1},
+			{At: 1, Op: Read, LBA: 5, Blocks: 1},
+		}}
+	if d := StackDistances(tr2, 1); len(d) != 1 || d[0] != 0 {
+		t.Fatalf("immediate re-reference distance %v, want [0]", d)
+	}
+}
+
+func TestHitRatioAt(t *testing.T) {
+	sorted := []int{0, 1, 5, 50, 500}
+	// Cache of 10 blocks catches distances < 10: the first three of five.
+	if got := HitRatioAt(sorted, 10, 0.5); math.Abs(got-0.5*3/5) > 1e-12 {
+		t.Fatalf("hit ratio %f", got)
+	}
+	if HitRatioAt(nil, 10, 0.5) != 0 {
+		t.Fatal("empty distances should give 0")
+	}
+	// Monotone in cache size.
+	prev := 0.0
+	for _, c := range []int{1, 2, 10, 100, 1000} {
+		v := HitRatioAt(sorted, c, 1)
+		if v < prev {
+			t.Fatal("hit ratio not monotone")
+		}
+		prev = v
+	}
+}
+
+// TestAnalyzePredictsSimHitRatio: the stack-distance prediction and the
+// simulated cache hit ratio should roughly agree — this ties the analysis
+// tooling to the simulator.
+func TestAnalyzeConsistentWithGenerator(t *testing.T) {
+	// Built via the generator in the workload package's tests; here just
+	// check invariants on a random-ish trace built locally.
+	tr := &Trace{Name: "g", NumDisks: 2, BlocksPerDisk: 10000}
+	at := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		at += sim.Time(i%7) * sim.Millisecond
+		lba := int64((i * 37) % 500) // heavy reuse of 500 blocks
+		tr.Records = append(tr.Records, Record{At: at, Op: Read, LBA: lba, Blocks: 1})
+	}
+	a := Analyze(tr)
+	if a.UniqueBlocks != 500 {
+		t.Fatalf("unique %d, want 500", a.UniqueBlocks)
+	}
+	if a.ReReferenceP < 0.7 {
+		t.Fatalf("re-reference %f, want high", a.ReReferenceP)
+	}
+	d := StackDistances(tr, 1)
+	// All re-references fit in a 500-block cache.
+	if got := HitRatioAt(d, 500, a.ReReferenceP); math.Abs(got-a.ReReferenceP) > 1e-9 {
+		t.Fatalf("full-coverage hit ratio %f, want %f", got, a.ReReferenceP)
+	}
+}

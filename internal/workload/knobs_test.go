@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+// knob-sensitivity tests: each generator knob must move the statistic it
+// claims to control, in the right direction.
+
+func genWith(t *testing.T, mod func(*Profile)) *trace.Trace {
+	t.Helper()
+	p := Trace2Profile()
+	p.Requests = 30000
+	p.Duration = 900 * sim.Second
+	if mod != nil {
+		mod(&p)
+	}
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestKnobDiskZipfControlsSkew(t *testing.T) {
+	flat := trace.Characterize(genWith(t, func(p *Profile) { p.DiskZipfTheta = 0 })).Skew()
+	skewed := trace.Characterize(genWith(t, func(p *Profile) { p.DiskZipfTheta = 2.0 })).Skew()
+	if flat > 1.5 {
+		t.Errorf("theta=0 skew %.2f, want near 1", flat)
+	}
+	if skewed < 3*flat {
+		t.Errorf("theta=2 skew %.2f not much above flat %.2f", skewed, flat)
+	}
+}
+
+func TestKnobWriteFraction(t *testing.T) {
+	for _, w := range []float64{0.05, 0.5} {
+		c := trace.Characterize(genWith(t, func(p *Profile) { p.WriteFraction = w }))
+		if got := c.WriteFraction(); got < w-0.03 || got > w+0.03 {
+			t.Errorf("knob %f produced write fraction %f", w, got)
+		}
+	}
+}
+
+func TestKnobRBWControlsReadBeforeWrite(t *testing.T) {
+	lo := trace.Analyze(genWith(t, func(p *Profile) { p.ReadBeforeWriteProb = 0.05 }))
+	hi := trace.Analyze(genWith(t, func(p *Profile) { p.ReadBeforeWriteProb = 0.95 }))
+	if hi.ReadBeforeWrite < lo.ReadBeforeWrite+0.3 {
+		t.Errorf("RBW knob ineffective: %.3f vs %.3f", lo.ReadBeforeWrite, hi.ReadBeforeWrite)
+	}
+}
+
+func TestKnobLocalityControlsReuse(t *testing.T) {
+	cold := trace.Analyze(genWith(t, func(p *Profile) {
+		p.HotSetProb, p.ZoneProb, p.WindowProb, p.ReadBeforeWriteProb = 0, 0, 0, 0
+	}))
+	warm := trace.Analyze(genWith(t, func(p *Profile) {
+		p.HotSetProb, p.ZoneProb, p.WindowProb = 0.1, 0.6, 0.2
+	}))
+	if warm.ReReferenceP < cold.ReReferenceP+0.1 {
+		t.Errorf("locality knobs ineffective: reuse %.3f vs %.3f", cold.ReReferenceP, warm.ReReferenceP)
+	}
+}
+
+func TestKnobZoneSizeControlsFootprint(t *testing.T) {
+	small := trace.Analyze(genWith(t, func(p *Profile) { p.ZoneBlocksPerDisk = 500; p.ZoneProb = 0.7 }))
+	large := trace.Analyze(genWith(t, func(p *Profile) { p.ZoneBlocksPerDisk = 50000; p.ZoneProb = 0.7 }))
+	if large.UniqueBlocks <= small.UniqueBlocks {
+		t.Errorf("zone size knob ineffective: %d vs %d unique blocks",
+			small.UniqueBlocks, large.UniqueBlocks)
+	}
+}
+
+func TestKnobClusteredSkewAdjacency(t *testing.T) {
+	// With clustered hotness the top disks are neighbors; scattered, they
+	// usually are not. Use trace1-like breadth for a meaningful test.
+	gen := func(clustered bool) []int64 {
+		p := Trace1Profile()
+		p.Requests = 40000
+		p.Duration = 200 * sim.Second
+		p.DiskHotClustered = clustered
+		tr, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Characterize(tr).PerDiskAccesses
+	}
+	adjacencySpan := func(counts []int64) int {
+		// Find the top-5 disks and measure their index spread.
+		type dc struct {
+			d int
+			c int64
+		}
+		var all []dc
+		for d, c := range counts {
+			all = append(all, dc{d, c})
+		}
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < len(all); j++ {
+				if all[j].c > all[i].c {
+					all[i], all[j] = all[j], all[i]
+				}
+			}
+		}
+		lo, hi := all[0].d, all[0].d
+		for _, x := range all[:5] {
+			if x.d < lo {
+				lo = x.d
+			}
+			if x.d > hi {
+				hi = x.d
+			}
+		}
+		return hi - lo
+	}
+	clustered := adjacencySpan(gen(true))
+	scattered := adjacencySpan(gen(false))
+	if clustered > 15 {
+		t.Errorf("clustered top disks span %d indices; expected adjacency", clustered)
+	}
+	if scattered <= clustered {
+		t.Errorf("scattered span %d not larger than clustered %d", scattered, clustered)
+	}
+}
+
+func TestKnobMultiblockMix(t *testing.T) {
+	c := trace.Characterize(genWith(t, func(p *Profile) {
+		p.MultiBlockFraction = 0.5
+		p.MeanMultiBlocks = 8
+	}))
+	multi := float64(c.MultiBlockReads+c.MultiBlockWrites) / float64(c.Accesses)
+	if multi < 0.45 || multi > 0.55 {
+		t.Errorf("multiblock fraction %f, want ~0.5", multi)
+	}
+}
+
+func TestDSSProfileShape(t *testing.T) {
+	p := DSSProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Requests = 5000
+	p.Duration = 900 * sim.Second
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := trace.Characterize(tr)
+	multi := float64(c.MultiBlockReads+c.MultiBlockWrites) / float64(c.Accesses)
+	if multi < 0.7 {
+		t.Errorf("DSS multiblock fraction %f, want large", multi)
+	}
+	if c.WriteFraction() > 0.1 {
+		t.Errorf("DSS write fraction %f, want small", c.WriteFraction())
+	}
+	mean := float64(c.BlocksTransferred) / float64(c.Accesses)
+	if mean < 10 {
+		t.Errorf("DSS mean request size %f blocks, want scans", mean)
+	}
+}

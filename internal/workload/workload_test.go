@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+// small returns a quick-to-generate profile for unit tests.
+func small() Profile {
+	p := Trace2Profile()
+	p.Requests = 20000
+	p.Duration = 600 * sim.Second
+	return p
+}
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range []Profile{Trace1Profile(), Trace2Profile()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	mods := []func(*Profile){
+		func(p *Profile) { p.NumDisks = 0 },
+		func(p *Profile) { p.BlocksPerDisk = 0 },
+		func(p *Profile) { p.Requests = 0 },
+		func(p *Profile) { p.Duration = 0 },
+		func(p *Profile) { p.WriteFraction = 1.5 },
+		func(p *Profile) { p.MultiBlockFraction = -0.1 },
+		func(p *Profile) { p.MaxMultiBlocks = 0 },
+		func(p *Profile) { p.ExtentsPerDisk = 0 },
+		func(p *Profile) { p.HotSetProb = 2 },
+		func(p *Profile) { p.ZoneProb = -1 },
+		func(p *Profile) { p.ZoneBlocksPerDisk = -1 },
+		func(p *Profile) { p.TransactionMeanIOs = 0.5 },
+		func(p *Profile) { p.LoadBurstFactor = 3; p.LoadBurstDuty = 0.5 }, // 1.5 >= 1
+		func(p *Profile) { p.LoadBurstFactor = 2; p.LoadBurstDuty = 0 },
+		func(p *Profile) { p.LoadBurstFactor = 2; p.LoadBurstDuty = 0.3; p.LoadBurstPeriod = 0 },
+	}
+	for i, mod := range mods {
+		p := small()
+		mod(&p)
+		if p.Validate() == nil {
+			t.Errorf("mod %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratedTraceIsValid(t *testing.T) {
+	tr, err := Generate(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 20000 {
+		t.Fatalf("generated %d records", len(tr.Records))
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, err := Generate(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Fatal("same profile produced different traces")
+	}
+	p := small()
+	p.Seed++
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Records, c.Records) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestAggregatesMatchKnobs(t *testing.T) {
+	p := small()
+	p.Requests = 60000
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := trace.Characterize(tr)
+	if got := c.WriteFraction(); math.Abs(got-p.WriteFraction) > 0.02 {
+		t.Errorf("write fraction %f, want ~%f", got, p.WriteFraction)
+	}
+	multi := float64(c.MultiBlockReads+c.MultiBlockWrites) / float64(c.Accesses)
+	if math.Abs(multi-p.MultiBlockFraction) > 0.01 {
+		t.Errorf("multiblock fraction %f, want ~%f", multi, p.MultiBlockFraction)
+	}
+	// Duration close to requested (arrival process is random).
+	ratio := float64(c.Duration) / float64(p.Duration)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("duration ratio %f", ratio)
+	}
+	// High skew profile should show visible skew.
+	if c.Skew() < 2 {
+		t.Errorf("trace2-like skew %f, want > 2", c.Skew())
+	}
+}
+
+func TestMeanMultiblockSize(t *testing.T) {
+	p := small()
+	p.Requests = 60000
+	tr, _ := Generate(p)
+	var count, blocks int64
+	for _, r := range tr.Records {
+		if r.Blocks > 1 {
+			count++
+			blocks += int64(r.Blocks)
+		}
+	}
+	if count == 0 {
+		t.Fatal("no multiblock requests generated")
+	}
+	mean := float64(blocks) / float64(count)
+	// Truncation (max, disk end) pulls the mean below the knob a bit.
+	if mean < p.MeanMultiBlocks*0.5 || mean > p.MeanMultiBlocks*1.3 {
+		t.Errorf("mean multiblock size %f, knob %f", mean, p.MeanMultiBlocks)
+	}
+}
+
+func TestScaledPreservesRate(t *testing.T) {
+	p := Trace1Profile()
+	q := p.Scaled(0.25)
+	rp := float64(p.Requests) / float64(p.Duration)
+	rq := float64(q.Requests) / float64(q.Duration)
+	if math.Abs(rp-rq)/rp > 0.01 {
+		t.Fatalf("rates differ: %g vs %g", rp, rq)
+	}
+	if q.LocalityWindow != p.LocalityWindow {
+		t.Fatal("Scaled must not shrink the locality window")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scaled(0) should panic")
+		}
+	}()
+	p.Scaled(0)
+}
+
+func TestCenteredOrder(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := 1 + int(nRaw%64)
+		center := int(cRaw) % n
+		ord := centeredOrder(n, center)
+		if len(ord) != n || ord[0] != center {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range ord {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks near the front are physically near the center.
+	ord := centeredOrder(64, 30)
+	for r := 1; r <= 6; r++ {
+		d := ord[r] - 30
+		if d < 0 {
+			d = -d
+		}
+		if d > 3 {
+			t.Fatalf("rank %d at distance %d from center", r, d)
+		}
+	}
+}
+
+func TestBurstModulationPreservesMeanRate(t *testing.T) {
+	p := small()
+	p.Requests = 50000
+	p.LoadBurstFactor = 4
+	p.LoadBurstDuty = 0.2
+	p.LoadBurstPeriod = 10 * sim.Second
+	p.Duration = 1500 * sim.Second
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tr.Duration()) / float64(p.Duration)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("modulated duration ratio %f; thinning broke the mean rate", ratio)
+	}
+}
+
+func TestBurstModulationActuallyBursts(t *testing.T) {
+	p := small()
+	p.Requests = 50000
+	p.LoadBurstFactor = 4
+	p.LoadBurstDuty = 0.2
+	p.LoadBurstPeriod = 10 * sim.Second
+	tr, _ := Generate(p)
+	// Count arrivals per second; the peak/mean ratio must reflect the
+	// modulation (busy seconds run at ~4x the average rate).
+	buckets := make(map[int64]int)
+	for _, r := range tr.Records {
+		buckets[r.At/sim.Second]++
+	}
+	var max, sum int
+	for _, c := range buckets {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(sum) / float64(tr.Duration()/sim.Second+1)
+	if float64(max) < 2.5*mean {
+		t.Fatalf("peak/mean arrivals %f; modulation not visible", float64(max)/mean)
+	}
+}
+
+func TestZonesAreCompact(t *testing.T) {
+	p := small()
+	p.Requests = 40000
+	tr, _ := Generate(p)
+	// For each disk, the most-touched 16-cylinder-wide band should hold a
+	// healthy share of that disk's accesses (zone + hot traffic).
+	bandBlocks := p.ZoneBlocksPerDisk
+	counts := map[int64]int{}
+	perDisk := map[int64]int{}
+	for _, r := range tr.Records {
+		d := r.LBA / p.BlocksPerDisk
+		off := r.LBA % p.BlocksPerDisk
+		counts[d*1e6+off/bandBlocks]++
+		perDisk[d]++
+	}
+	// Hottest band of the hottest disk.
+	var hotDisk int64
+	for d, c := range perDisk {
+		if c > perDisk[hotDisk] {
+			hotDisk = d
+		}
+	}
+	best := 0
+	for k, c := range counts {
+		if k/1e6 == hotDisk && c > best {
+			best = c
+		}
+	}
+	share := float64(best) / float64(perDisk[hotDisk])
+	if share < 0.25 {
+		t.Fatalf("hottest band holds only %.2f of its disk's accesses; zones not compact", share)
+	}
+}
