@@ -56,7 +56,9 @@ func benchTrace(b *testing.B, name string, speed float64) *trace.Trace {
 		b.Fatal(err)
 	}
 	if speed != 1 {
-		t = t.Scale(speed)
+		if t, err = t.Scale(speed); err != nil {
+			b.Fatal(err)
+		}
 	}
 	benchTraces.m[key] = t
 	return t
@@ -335,7 +337,10 @@ func BenchmarkLayoutParityStripingParity(b *testing.B) {
 }
 
 func BenchmarkCacheOps(b *testing.B) {
-	c := cache.New(cache.Config{Blocks: 4096, KeepOldData: true})
+	c, err := cache.New(cache.Config{Blocks: 4096, KeepOldData: true})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lba := int64(i % 8192)

@@ -19,6 +19,7 @@ import (
 	"raidsim/internal/array"
 	"raidsim/internal/core"
 	"raidsim/internal/disk"
+	"raidsim/internal/fault"
 	"raidsim/internal/geom"
 	"raidsim/internal/layout"
 	"raidsim/internal/report"
@@ -49,15 +50,32 @@ func main() {
 		spindles  = flag.Bool("sync-spindles", false, "synchronize spindle rotation across drives")
 		mpl       = flag.Int("mpl", 0, "closed-loop mode: keep this many requests outstanding per array (0 = replay trace timing)")
 		thinkMS   = flag.Float64("think-ms", 0, "closed-loop think time between completion and next request")
+
+		failAt      = flag.Duration("fail-at", 0, "inject a disk failure at this time into the run (e.g. 30s; 0 = none)")
+		failDisk    = flag.Int("fail-disk", 0, "physical disk to fail at -fail-at (array-major numbering)")
+		spares      = flag.Int("spares", 0, "hot spares per array; a failure consumes one and triggers a background rebuild")
+		mttfHours   = flag.Float64("mttf-hours", 0, "give every drive an exponential lifetime with this mean (0 = no stochastic failures)")
+		mttrHours   = flag.Float64("mttr-hours", 24, "mean repair time for the -mttdl-runs campaign")
+		sectorRate  = flag.Float64("sector-error-rate", 0, "per-block probability a media read surfaces a latent sector error")
+		cacheFailAt = flag.Duration("cache-fail-at", 0, "fail the NVRAM cache at this time (0 = never)")
+		faultSeed   = flag.Uint64("fault-seed", 0, "seed for the stochastic fault streams")
+		mttdlRuns   = flag.Int("mttdl-runs", 0, "run a Monte-Carlo MTTDL campaign with this many lifetimes instead of a trace replay")
 	)
 	flag.Parse()
+
+	if *mttdlRuns > 0 {
+		runCampaign(*orgName, *n, *mttfHours, *mttrHours, *mttdlRuns, *faultSeed)
+		return
+	}
 
 	tr, err := loadTrace(*tracePath, *profile, *scale)
 	if err != nil {
 		fatal(err)
 	}
 	if *speed != 1 {
-		tr = tr.Scale(*speed)
+		if tr, err = tr.Scale(*speed); err != nil {
+			fatal(err)
+		}
 	}
 
 	org, err := array.ParseOrg(*orgName)
@@ -93,6 +111,16 @@ func main() {
 		DiskSched:        sd,
 		SyncSpindles:     *spindles,
 		Seed:             *seed,
+		Spares:           *spares,
+		Fault: fault.Config{
+			MTTF:            sim.Time(*mttfHours * 3600 * float64(sim.Second)),
+			CacheFailAt:     sim.Time(*cacheFailAt),
+			SectorErrorRate: *sectorRate,
+			Seed:            *faultSeed,
+		},
+	}
+	if *failAt > 0 {
+		cfg.Fault.DiskFails = []fault.DiskFail{{Disk: *failDisk, At: sim.Time(*failAt)}}
 	}
 	if *mpl > 0 {
 		res, err := core.RunClosedLoop(cfg, tr, core.ClosedLoopConfig{
@@ -175,6 +203,32 @@ func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk b
 	}
 	t.AddRow("mean disk utilization", fmt.Sprintf("%.4f", usum/float64(len(res.DiskUtil))))
 	t.AddRow("max disk utilization", fmt.Sprintf("%.4f", umax))
+	if f := res.Fault; f.Enabled {
+		t.AddRow("disk failures", fmt.Sprintf("%d", f.Failures))
+		t.AddRow("spares used", fmt.Sprintf("%d / rebuilds %d", f.SparesUsed, f.Rebuilds))
+		if f.Rebuilds > 0 || f.RebuildActive {
+			state := "done"
+			if f.RebuildActive {
+				state = "still running"
+			}
+			t.AddRow("rebuild time (s)", fmt.Sprintf("%.1f (%s)", float64(f.RebuildTime)/float64(sim.Second), state))
+		}
+		t.AddRow("degraded time (s)", fmt.Sprintf("%.1f over %d window(s)", float64(f.DegradedTime)/float64(sim.Second), f.DegradedWindows))
+		t.AddRow("normal response (ms)", fmt.Sprintf("%.3f (%d reqs)", res.NormalResp.Mean(), res.NormalResp.N()))
+		t.AddRow("degraded response (ms)", fmt.Sprintf("%.3f (%d reqs)", res.DegradedResp.Mean(), res.DegradedResp.N()))
+		if f.DataLossEvents > 0 || f.LostReadBlocks > 0 || f.LostWriteBlocks > 0 {
+			t.AddRow("DATA LOSS events", fmt.Sprintf("%d (%d read / %d write blocks)", f.DataLossEvents, f.LostReadBlocks, f.LostWriteBlocks))
+		}
+		if f.CacheFailures > 0 {
+			t.AddRow("cache failures", fmt.Sprintf("%d (%d dirty blocks lost)", f.CacheFailures, f.DirtyBlocksLost))
+		}
+		if f.SectorErrors > 0 {
+			t.AddRow("sector errors", fmt.Sprintf("%d (%d retried, %d reconstructed)", f.SectorErrors, f.SectorRetries, f.SectorReconstructs))
+		}
+		if f.FailoverReads > 0 {
+			t.AddRow("failover reads", fmt.Sprintf("%d", f.FailoverReads))
+		}
+	}
 	if err := t.Render(os.Stdout); err != nil {
 		fatal(err)
 	}
@@ -190,6 +244,49 @@ func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk b
 		if err := d.Render(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runCampaign runs the Monte-Carlo MTTDL campaign for -mttdl-runs and
+// prints the empirical mean next to the analytic Markov predictions.
+func runCampaign(orgName string, n int, mttfHours, mttrHours float64, runs int, seed uint64) {
+	if mttfHours <= 0 {
+		fatal(fmt.Errorf("-mttdl-runs needs -mttf-hours"))
+	}
+	org, err := array.ParseOrg(orgName)
+	if err != nil {
+		fatal(err)
+	}
+	var scheme fault.Scheme
+	switch org {
+	case array.OrgMirror:
+		scheme = fault.MirrorPair
+	case array.OrgRAID5, array.OrgRAID4, array.OrgParityStriping:
+		scheme = fault.ParityArray
+	default:
+		fatal(fmt.Errorf("organization %v has no redundancy to measure MTTDL for", org))
+	}
+	res, err := fault.RunCampaign(fault.CampaignConfig{
+		Scheme: scheme, N: n,
+		MTTFHours: mttfHours, MTTRHours: mttrHours,
+		Runs: runs, Seed: seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("MTTDL campaign: %s (%s), MTTF %gh, MTTR %gh, %d lifetimes", org, scheme, mttfHours, mttrHours, runs),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("empirical MTTDL (h)", fmt.Sprintf("%.0f", res.EmpiricalMTTDLHours))
+	t.AddRow("exact Markov MTTDL (h)", fmt.Sprintf("%.0f", res.ExactMTTDLHours))
+	t.AddRow("approximate MTTDL (h)", fmt.Sprintf("%.0f", res.AnalyticMTTDLHours))
+	t.AddRow("empirical / exact", fmt.Sprintf("%.3f", res.Ratio()))
+	t.AddRow("shortest lifetime (h)", fmt.Sprintf("%.1f", res.MinHours))
+	t.AddRow("longest lifetime (h)", fmt.Sprintf("%.0f", res.MaxHours))
+	t.AddRow("empirical MTTDL (years)", fmt.Sprintf("%.1f", res.EmpiricalMTTDLHours/(24*365)))
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

@@ -122,7 +122,11 @@ func TestTraceSpeedMonotonicity(t *testing.T) {
 				Org: org, DataDisks: 10, N: 10,
 				Spec: geom.Default(), Sync: array.DF, Seed: 5,
 			}
-			res, err := core.Run(cfg, tr.Scale(speed))
+			scaled, err := tr.Scale(speed)
+			if err != nil {
+				t.Fatalf("%v @%g: %v", org, speed, err)
+			}
+			res, err := core.Run(cfg, scaled)
 			if err != nil {
 				t.Fatalf("%v @%g: %v", org, speed, err)
 			}

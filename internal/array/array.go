@@ -13,6 +13,7 @@ import (
 	"raidsim/internal/bus"
 	"raidsim/internal/cache"
 	"raidsim/internal/disk"
+	"raidsim/internal/fault"
 	"raidsim/internal/geom"
 	"raidsim/internal/layout"
 	"raidsim/internal/rng"
@@ -170,6 +171,18 @@ type Config struct {
 	// exists for the ablation).
 	SyncSpindles bool
 	Seed         uint64
+
+	// Fault configures fault injection (package fault); the zero value
+	// injects nothing. RAID3 and parity logging have no degraded-mode
+	// model and reject fault configs.
+	Fault fault.Config
+	// Spares is the hot-spare pool: each disk failure consumes one spare
+	// and starts an automatic background rebuild onto it.
+	Spares int
+	// RebuildChunk is blocks per rebuild I/O (default 48); RebuildPause
+	// is an idle gap between chunks to throttle rebuild interference.
+	RebuildChunk int
+	RebuildPause sim.Time
 }
 
 func (c *Config) fillDefaults() error {
@@ -198,6 +211,15 @@ func (c *Config) fillDefaults() error {
 	if c.Cached && c.CacheBlocks <= 0 {
 		c.CacheBlocks = 16 << 20 / c.Spec.BlockBytes // 16 MB default
 	}
+	if c.Spares < 0 {
+		return fmt.Errorf("array: negative spare count %d", c.Spares)
+	}
+	if c.RebuildChunk <= 0 {
+		c.RebuildChunk = 48
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -219,6 +241,12 @@ type Results struct {
 	Resp      stats.Summary // ms, all requests
 	ReadResp  stats.Summary
 	WriteResp stats.Summary
+
+	// NormalResp/DegradedResp split Resp by whether the array was
+	// degraded (a slot unreadable) when the request completed.
+	NormalResp   stats.Summary
+	DegradedResp stats.Summary
+	Fault        FaultResults
 
 	// Per-request cache accounting (multiblock counts as a hit only if
 	// every block hit, as in the paper).
@@ -270,66 +298,127 @@ func New(eng *sim.Engine, cfg Config) (Controller, error) {
 		return nil, err
 	}
 	bpd := cfg.Spec.BlocksPerDisk()
+	var (
+		ctrl Controller
+		c    *common
+		err  error
+	)
 	switch cfg.Org {
 	case OrgBase:
 		lay := layout.NewBase(cfg.N, bpd)
-		c := newCommon(eng, cfg, lay.Disks())
-		if cfg.Cached {
-			return newCachedPlain(c, lay, nil), nil
+		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
+			return nil, err
 		}
-		return &baseCtrl{common: c, lay: lay, org: OrgBase}, nil
+		c.faultPlain()
+		if cfg.Cached {
+			if ctrl, err = newCachedPlain(c, lay, nil); err != nil {
+				return nil, err
+			}
+		} else {
+			ctrl = &baseCtrl{common: c, lay: lay, org: OrgBase}
+		}
 	case OrgRAID0:
 		lay := layout.NewRAID0(cfg.N, bpd, cfg.StripingUnit)
-		c := newCommon(eng, cfg, lay.Disks())
-		if cfg.Cached {
-			cp := newCachedPlain(c, lay, nil)
-			cp.org = OrgRAID0
-			return cp, nil
+		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
+			return nil, err
 		}
-		return &baseCtrl{common: c, lay: lay, org: OrgRAID0}, nil
+		c.faultPlain()
+		if cfg.Cached {
+			cp, err := newCachedPlain(c, lay, nil)
+			if err != nil {
+				return nil, err
+			}
+			cp.org = OrgRAID0
+			ctrl = cp
+		} else {
+			ctrl = &baseCtrl{common: c, lay: lay, org: OrgRAID0}
+		}
 	case OrgRAID3:
 		if cfg.Cached {
 			return nil, fmt.Errorf("array: the RAID3 comparator is modeled non-cached only")
 		}
+		if cfg.Fault.Enabled() || cfg.Spares > 0 {
+			return nil, fmt.Errorf("array: the RAID3 comparator has no degraded-mode model; fault injection is unsupported")
+		}
 		cfg.SyncSpindles = true // RAID3 requires synchronized spindles
-		c := newCommon(eng, cfg, cfg.N+1)
-		return &raid3Ctrl{common: c, n: cfg.N, bpd: bpd}, nil
+		if c, err = newCommon(eng, cfg, cfg.N+1); err != nil {
+			return nil, err
+		}
+		ctrl = &raid3Ctrl{common: c, n: cfg.N, bpd: bpd}
 	case OrgParityLog:
 		if cfg.Cached {
 			return nil, fmt.Errorf("array: parity logging is modeled non-cached only (its log plays the cache's role)")
 		}
-		c := newCommon(eng, cfg, cfg.N+1)
-		return newParityLog(c, cfg), nil
+		if cfg.Fault.Enabled() || cfg.Spares > 0 {
+			return nil, fmt.Errorf("array: the parity-logging comparator has no degraded-mode model; fault injection is unsupported")
+		}
+		if c, err = newCommon(eng, cfg, cfg.N+1); err != nil {
+			return nil, err
+		}
+		ctrl = newParityLog(c, cfg)
 	case OrgMirror:
 		lay := layout.NewMirror(cfg.N, bpd)
-		c := newCommon(eng, cfg, lay.Disks())
-		if cfg.Cached {
-			return newCachedPlain(c, lay, lay), nil
+		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
+			return nil, err
 		}
-		return &mirrorCtrl{common: c, lay: lay}, nil
+		c.faultMirror()
+		if cfg.Cached {
+			if ctrl, err = newCachedPlain(c, lay, lay); err != nil {
+				return nil, err
+			}
+		} else {
+			ctrl = &mirrorCtrl{common: c, lay: lay}
+		}
 	case OrgRAID5:
 		lay := layout.NewRAID5(cfg.N, bpd, cfg.StripingUnit)
-		c := newCommon(eng, cfg, lay.Disks())
-		if cfg.Cached {
-			return newCachedParity(c, lay), nil
+		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
+			return nil, err
 		}
-		return &parityCtrl{common: c, lay: lay}, nil
+		c.faultParity(lay)
+		if cfg.Cached {
+			if ctrl, err = newCachedParity(c, lay); err != nil {
+				return nil, err
+			}
+		} else {
+			ctrl = &parityCtrl{common: c, lay: lay}
+		}
 	case OrgParityStriping:
 		lay := layout.NewParityStriping(cfg.N, bpd, cfg.Placement, cfg.ParityStripeUnit)
-		c := newCommon(eng, cfg, lay.Disks())
-		if cfg.Cached {
-			return newCachedParity(c, lay), nil
+		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
+			return nil, err
 		}
-		return &parityCtrl{common: c, lay: lay}, nil
+		c.faultParity(lay)
+		if cfg.Cached {
+			if ctrl, err = newCachedParity(c, lay); err != nil {
+				return nil, err
+			}
+		} else {
+			ctrl = &parityCtrl{common: c, lay: lay}
+		}
 	case OrgRAID4:
 		if !cfg.Cached {
 			return nil, fmt.Errorf("array: RAID4 is only studied with parity caching; set Cached")
 		}
 		lay := layout.NewRAID4(cfg.N, bpd, cfg.StripingUnit)
-		c := newCommon(eng, cfg, lay.Disks())
-		return newCachedRAID4(c, lay), nil
+		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
+			return nil, err
+		}
+		c.faultParity(lay)
+		if ctrl, err = newCachedRAID4(c, lay); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("array: unknown organization %v", cfg.Org)
 	}
-	return nil, fmt.Errorf("array: unknown organization %v", cfg.Org)
+	if cfg.Fault.Enabled() {
+		inj, err := fault.NewInjector(eng, cfg.Fault, len(c.disks))
+		if err != nil {
+			return nil, err
+		}
+		c.fs.inj = inj
+		inj.Arm(c)
+	}
+	return ctrl, nil
 }
 
 // common holds the hardware every controller variant shares.
@@ -345,18 +434,30 @@ type common struct {
 	resp                   stats.Summary
 	readResp               stats.Summary
 	writeResp              stats.Summary
+	normResp               stats.Summary
+	degResp                stats.Summary
 	readHits, readMisses   int64
 	writeHits, writeMisses int64
 	parityAccesses         int64
+
+	fs faultState
 }
 
-func newCommon(eng *sim.Engine, cfg Config, ndisks int) *common {
+func newCommon(eng *sim.Engine, cfg Config, ndisks int) (*common, error) {
 	src := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	ch, err := bus.NewChannel(eng, cfg.Spec.ChannelMBps)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := bus.NewBufferPool(eng, cfg.BuffersPerDisk*ndisks)
+	if err != nil {
+		return nil, err
+	}
 	c := &common{
 		eng: eng,
 		cfg: cfg,
-		ch:  bus.NewChannel(eng, cfg.Spec.ChannelMBps),
-		buf: bus.NewBufferPool(eng, cfg.BuffersPerDisk*ndisks),
+		ch:  ch,
+		buf: buf,
 	}
 	c.disks = make([]*disk.Disk, ndisks)
 	sharedPhase := src.Float64()
@@ -368,7 +469,10 @@ func newCommon(eng *sim.Engine, cfg Config, ndisks int) *common {
 		c.disks[i] = disk.New(eng, i, cfg.Spec, cfg.Seek, phase)
 		c.disks[i].SetSched(cfg.DiskSched)
 	}
-	return c
+	c.fs.failed = make([]bool, ndisks)
+	c.fs.rebuilding = make([]bool, ndisks)
+	c.fs.spares = cfg.Spares
+	return c, nil
 }
 
 func (c *common) begin() sim.Time {
@@ -385,6 +489,11 @@ func (c *common) finish(r Request, start sim.Time) {
 			c.readResp.Add(ms)
 		} else {
 			c.writeResp.Add(ms)
+		}
+		if c.fs.degraded.Active() {
+			c.degResp.Add(ms)
+		} else {
+			c.normResp.Add(ms)
 		}
 	}
 	c.inflight--
@@ -411,6 +520,9 @@ func (c *common) baseResults(org Org) *Results {
 		ReadHits:  c.readHits, ReadMisses: c.readMisses,
 		WriteHits: c.writeHits, WriteMisses: c.writeMisses,
 		ParityAccesses: c.parityAccesses,
+		NormalResp:     c.normResp,
+		DegradedResp:   c.degResp,
+		Fault:          c.faultResults(),
 	}
 	now := c.eng.Now()
 	var distSum, seeks int64

@@ -17,7 +17,13 @@ type cachedCtrl struct {
 	*common
 	lay    layout.DataLayout
 	c      *cache.Cache
+	ccfg   cache.Config
 	ticker *sim.Ticker
+
+	// epoch counts NVRAM cache failures. In-flight destages capture it at
+	// issue time and skip their CompleteDestage bookkeeping when stale —
+	// the entries they would complete died with the old cache.
+	epoch int
 
 	// writeBackMarked persists cached dirty blocks already marked as
 	// destaging and calls onDone when they are clean on disk. spread
@@ -37,10 +43,26 @@ func (cc *cachedCtrl) writeBack(lbas []int64, pri disk.Priority, spread sim.Time
 }
 
 func (cc *cachedCtrl) initDestage() {
+	cc.fs.onCacheFail = cc.cacheFailed
 	if cc.cfg.PureLRUWriteback {
 		return
 	}
 	cc.ticker = sim.NewTicker(cc.eng, cc.cfg.DestagePeriod, cc.destageTick)
+}
+
+// cacheFailed models NVRAM death: every dirty block not yet on disk is
+// lost, and a fresh (empty) cache module is swapped in. Destages already
+// in flight keep running — their disk writes are harmless — but their
+// completion bookkeeping is epoch-guarded away.
+func (cc *cachedCtrl) cacheFailed() {
+	cc.fs.dirtyLost += int64(len(cc.c.DirtyNotDestaging()))
+	cc.epoch++
+	fresh, err := cache.New(cc.ccfg)
+	if err != nil {
+		// The same config built the original cache; failure here is a bug.
+		panic(err)
+	}
+	cc.c = fresh
 }
 
 // DataBlocks implements Controller.
@@ -224,22 +246,25 @@ func (cc *cachedCtrl) insertDirty(lba int64, n, i int, done func()) {
 // newCachedPlain builds the cached Base (mir == nil) or Mirror
 // organization: no parity, so write-back is plain data writes (both
 // copies for Mirror) and read-miss fetches use the nearest copy.
-func newCachedPlain(c *common, lay layout.DataLayout, mir layout.MirrorLayout) *cachedPlain {
+func newCachedPlain(c *common, lay layout.DataLayout, mir layout.MirrorLayout) (*cachedPlain, error) {
+	ccfg := cache.Config{Blocks: c.cfg.CacheBlocks, KeepOldData: false}
+	nvc, err := cache.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
 	cp := &cachedPlain{
 		cachedCtrl: &cachedCtrl{
 			common: c,
 			lay:    lay,
-			c: cache.New(cache.Config{
-				Blocks:      c.cfg.CacheBlocks,
-				KeepOldData: false,
-			}),
+			c:      nvc,
+			ccfg:   ccfg,
 		},
 		mir: mir,
 	}
 	cp.writeBackMarked = cp.doWriteBack
 	cp.fetchRuns = cp.doFetchRuns
 	cp.initDestage()
-	return cp
+	return cp, nil
 }
 
 type cachedPlain struct {
@@ -261,14 +286,12 @@ func (cp *cachedPlain) doFetchRuns(lbas []int64) []run {
 	if cp.mir == nil {
 		return dataRuns(cp.lay, lbas)
 	}
-	// Shortest-seek routing per run, as in the non-cached mirror.
+	// Shortest-seek routing per run, as in the non-cached mirror; a dead
+	// copy never wins.
 	runs := dataRuns(cp.lay, lbas)
 	for i := range runs {
 		rn := &runs[i]
-		d0, d1 := cp.disks[rn.disk], cp.disks[rn.disk+1]
-		cyl := cp.cfg.Spec.ToCHS(rn.start).Cylinder
-		dist0, dist1 := abs(d0.Cylinder()-cyl), abs(d1.Cylinder()-cyl)
-		if dist1 < dist0 || (dist1 == dist0 && d1.QueueLen() < d0.QueueLen()) {
+		if pickMirrorCopy(cp.common, rn.disk, rn.start) {
 			rn.disk++
 		}
 	}
@@ -280,6 +303,20 @@ func (cp *cachedPlain) doWriteBack(lbas []int64, pri disk.Priority, spread sim.T
 	if cp.mir != nil {
 		runs = append(runs, altRuns(cp.mir, lbas)...)
 	}
+	if cp.degradedNow() {
+		var dropped int
+		runs, dropped = cp.filterWriteRuns(runs)
+		if dropped > 0 && cp.mir != nil {
+			for _, l := range lbas {
+				if cp.writeDown(cp.lay.Map(l).Disk) && cp.writeDown(cp.mir.Alt(l).Disk) {
+					cp.fs.lostWriteBlocks++
+				}
+			}
+		} else if cp.mir == nil {
+			cp.fs.lostWriteBlocks += int64(dropped)
+		}
+	}
+	ep := cp.epoch
 	var stagger sim.Time
 	if len(runs) > 1 && spread > 0 {
 		stagger = spread / sim.Time(len(runs))
@@ -287,8 +324,10 @@ func (cp *cachedPlain) doWriteBack(lbas []int64, pri disk.Priority, spread sim.T
 	cp.buf.Acquire(len(runs), func() {
 		done := newLatch(len(runs), func() {
 			cp.buf.Release(len(runs))
-			for _, l := range lbas {
-				cp.c.CompleteDestage(l)
+			if cp.epoch == ep {
+				for _, l := range lbas {
+					cp.c.CompleteDestage(l)
+				}
 			}
 			onDone()
 		})
@@ -311,22 +350,25 @@ func (cp *cachedPlain) doWriteBack(lbas []int64, pri disk.Priority, spread sim.T
 // the cache keeps old-data shadows so destage can usually skip re-reading
 // old data, but the old parity must still be read (an extra rotation at
 // the parity disk) for partial-stripe write-back.
-func newCachedParity(c *common, lay layout.ParityLayout) *cachedParity {
+func newCachedParity(c *common, lay layout.ParityLayout) (*cachedParity, error) {
+	ccfg := cache.Config{Blocks: c.cfg.CacheBlocks, KeepOldData: true}
+	nvc, err := cache.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
 	cp := &cachedParity{
 		cachedCtrl: &cachedCtrl{
 			common: c,
 			lay:    lay,
-			c: cache.New(cache.Config{
-				Blocks:      c.cfg.CacheBlocks,
-				KeepOldData: true,
-			}),
+			c:      nvc,
+			ccfg:   ccfg,
 		},
 		play: lay,
 	}
 	cp.writeBackMarked = cp.doWriteBack
 	cp.fetchRuns = func(lbas []int64) []run { return dataRuns(cp.lay, lbas) }
 	cp.initDestage()
-	return cp
+	return cp, nil
 }
 
 type cachedParity struct {
@@ -343,6 +385,21 @@ func (cp *cachedParity) Results() *Results {
 }
 
 func (cp *cachedParity) doWriteBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
+	ep := cp.epoch
+	if cp.degradedNow() {
+		cp.buf.Acquire(len(lbas), func() {
+			cp.degradedUpdate(cp.play, lbas, pri, func() {
+				cp.buf.Release(len(lbas))
+				if cp.epoch == ep {
+					for _, l := range lbas {
+						cp.c.CompleteDestage(l)
+					}
+				}
+				onDone()
+			})
+		})
+		return
+	}
 	plan := planUpdate(cp.play, lbas, func(l int64) bool {
 		e := cp.c.Lookup(l)
 		return e != nil && e.HasOld
@@ -359,8 +416,10 @@ func (cp *cachedParity) doWriteBack(lbas []int64, pri disk.Priority, spread sim.
 			stagger: stagger,
 			onDone: func() {
 				cp.buf.Release(n)
-				for _, l := range lbas {
-					cp.c.CompleteDestage(l)
+				if cp.epoch == ep {
+					for _, l := range lbas {
+						cp.c.CompleteDestage(l)
+					}
 				}
 				onDone()
 			},

@@ -30,6 +30,9 @@ func (b *baseCtrl) Submit(r Request) {
 		b.readRuns(runs, r.Blocks, func() { b.finish(r, start) })
 		return
 	}
+	// No redundancy: a write run targeting a dead slot is simply lost.
+	runs, dropped := b.filterWriteRuns(runs)
+	b.fs.lostWriteBlocks += int64(dropped)
 	b.buf.Acquire(len(runs), func() {
 		b.chanXfer(r.Blocks, func() {
 			done := newLatch(len(runs), func() {
@@ -46,8 +49,9 @@ func (b *baseCtrl) Submit(r Request) {
 	})
 }
 
-// readRuns performs plain reads for the runs, then one channel transfer
-// of the full request, then onDone. Shared by every organization.
+// readRuns performs reads for the runs, then one channel transfer of the
+// full request, then onDone. Shared by every organization; readRun makes
+// every path failure- and sector-error-aware.
 func (c *common) readRuns(runs []run, totalBlocks int, onDone func()) {
 	c.buf.Acquire(len(runs), func() {
 		done := newLatch(len(runs), func() {
@@ -57,10 +61,7 @@ func (c *common) readRuns(runs []run, totalBlocks int, onDone func()) {
 			})
 		})
 		for _, rn := range runs {
-			c.disks[rn.disk].Submit(&disk.Request{
-				StartBlock: rn.start, Blocks: rn.blocks,
-				Priority: disk.PriNormal, OnDone: done.done,
-			})
+			c.readRun(rn, disk.PriNormal, done.done)
 		}
 	})
 }
@@ -80,22 +81,38 @@ func (m *mirrorCtrl) DataBlocks() int64 { return m.lay.DataBlocks() }
 // Results implements Controller.
 func (m *mirrorCtrl) Results() *Results { return m.baseResults(OrgMirror) }
 
-// nearestRuns picks, per run, the mirror copy with the shorter seek.
+// nearestRuns picks, per run, the mirror copy with the shorter seek. A
+// dead copy never wins: reads fail over to the survivor.
 func (m *mirrorCtrl) nearestRuns(lbas []int64) []run {
 	prim := dataRuns(m.lay, lbas)
 	for i := range prim {
 		rn := &prim[i]
-		d0 := m.disks[rn.disk]
-		d1 := m.disks[rn.disk+1] // secondary is always primary+1
-		cyl := m.cfg.Spec.ToCHS(rn.start).Cylinder
-		dist0 := abs(d0.Cylinder() - cyl)
-		dist1 := abs(d1.Cylinder() - cyl)
-		pick1 := dist1 < dist0 || (dist1 == dist0 && d1.QueueLen() < d0.QueueLen())
-		if pick1 {
+		if pickMirrorCopy(m.common, rn.disk, rn.start) {
 			rn.disk++
 		}
 	}
 	return prim
+}
+
+// pickMirrorCopy reports whether a read of physical block start should go
+// to the secondary copy (primary+1): the survivor when one copy is dead,
+// otherwise the shorter seek with queue length as tie-break.
+func pickMirrorCopy(c *common, primary int, start int64) bool {
+	if c.fs.nfailed > 0 {
+		p0, p1 := c.fs.failed[primary], c.fs.failed[primary+1]
+		if p0 && !p1 {
+			c.fs.failoverReads++
+			return true
+		}
+		if p1 {
+			return false // secondary dead (or both; fallback handles that)
+		}
+	}
+	d0, d1 := c.disks[primary], c.disks[primary+1]
+	cyl := c.cfg.Spec.ToCHS(start).Cylinder
+	dist0 := abs(d0.Cylinder() - cyl)
+	dist1 := abs(d1.Cylinder() - cyl)
+	return dist1 < dist0 || (dist1 == dist0 && d1.QueueLen() < d0.QueueLen())
 }
 
 // Submit implements Controller.
@@ -108,6 +125,19 @@ func (m *mirrorCtrl) Submit(r Request) {
 		return
 	}
 	runs := append(dataRuns(m.lay, lbas), altRuns(m.lay, lbas)...)
+	if m.degradedNow() {
+		// Writes degrade to the surviving copy (or the rebuilding spare);
+		// a block is lost only when both copies of its pair are gone.
+		var dropped int
+		runs, dropped = m.filterWriteRuns(runs)
+		if dropped > 0 {
+			for _, l := range lbas {
+				if m.writeDown(m.lay.Map(l).Disk) && m.writeDown(m.lay.Alt(l).Disk) {
+					m.fs.lostWriteBlocks++
+				}
+			}
+		}
+	}
 	m.buf.Acquire(len(runs), func() {
 		m.chanXfer(r.Blocks, func() {
 			done := newLatch(len(runs), func() {
@@ -147,6 +177,18 @@ func (p *parityCtrl) Submit(r Request) {
 	start := p.begin()
 	if r.Op == trace.Read {
 		p.readRuns(dataRunsSpan(p.lay, r.LBA, r.Blocks), r.Blocks, func() { p.finish(r, start) })
+		return
+	}
+	if p.degradedNow() {
+		lbas := spanLBAs(r.LBA, r.Blocks)
+		p.buf.Acquire(len(lbas), func() {
+			p.chanXfer(r.Blocks, func() {
+				p.degradedUpdate(p.lay, lbas, disk.PriNormal, func() {
+					p.buf.Release(len(lbas))
+					p.finish(r, start)
+				})
+			})
+		})
 		return
 	}
 	// Small writes read old data and old parity to compute new parity;

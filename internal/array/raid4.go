@@ -22,22 +22,25 @@ type cachedRAID4 struct {
 	stalled  []func()
 }
 
-func newCachedRAID4(c *common, lay *layout.RAID4) *cachedRAID4 {
+func newCachedRAID4(c *common, lay *layout.RAID4) (*cachedRAID4, error) {
+	ccfg := cache.Config{Blocks: c.cfg.CacheBlocks, KeepOldData: true}
+	nvc, err := cache.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
 	r4 := &cachedRAID4{
 		cachedCtrl: &cachedCtrl{
 			common: c,
 			lay:    lay,
-			c: cache.New(cache.Config{
-				Blocks:      c.cfg.CacheBlocks,
-				KeepOldData: true,
-			}),
+			c:      nvc,
+			ccfg:   ccfg,
 		},
 		play: lay,
 	}
 	r4.writeBackMarked = r4.doWriteBack
 	r4.fetchRuns = func(lbas []int64) []run { return dataRuns(r4.lay, lbas) }
 	r4.initDestage()
-	return r4
+	return r4, nil
 }
 
 // Results implements Controller.
@@ -49,6 +52,24 @@ func (r4 *cachedRAID4) Results() *Results { return r4.cachedResults(OrgRAID4) }
 // synchronously. When the spool is full the destage waits for the spooler
 // to free a slot (section 4.4's stall).
 func (r4 *cachedRAID4) doWriteBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
+	ep := r4.epoch
+	if r4.degradedNow() {
+		// Degraded mode bypasses the parity spool: with the parity disk
+		// dead there is no parity to keep, and with a data disk dead each
+		// block needs the per-block case analysis.
+		r4.buf.Acquire(len(lbas), func() {
+			r4.degradedUpdate(r4.play, lbas, pri, func() {
+				r4.buf.Release(len(lbas))
+				if r4.epoch == ep {
+					for _, l := range lbas {
+						r4.c.CompleteDestage(l)
+					}
+				}
+				onDone()
+			})
+		})
+		return
+	}
 	plan := planUpdate(r4.play, lbas, func(l int64) bool {
 		e := r4.c.Lookup(l)
 		return e != nil && e.HasOld
@@ -70,8 +91,10 @@ func (r4 *cachedRAID4) doWriteBack(lbas []int64, pri disk.Priority, spread sim.T
 			// cache slots, so release as soon as the data writes land.
 			onDataDone: func() { r4.buf.Release(nbuf) },
 			onDone: func() {
-				for _, l := range lbas {
-					r4.c.CompleteDestage(l)
+				if r4.epoch == ep {
+					for _, l := range lbas {
+						r4.c.CompleteDestage(l)
+					}
 				}
 				onDone()
 			},
@@ -139,6 +162,7 @@ func (r4 *cachedRAID4) spool() {
 	}
 	r4.spooling = true
 	r4.parityAccesses++
+	ep := r4.epoch
 	req := &disk.Request{
 		StartBlock: pick.Key.Block,
 		Blocks:     1,
@@ -146,7 +170,11 @@ func (r4 *cachedRAID4) spool() {
 		Priority:   disk.PriBackground,
 		OnDone: func() {
 			r4.scanPos = pick.Key.Block + 1
-			r4.c.RemoveParityPending(pick.Key)
+			// Guard against an NVRAM failure that replaced the cache (and
+			// its spool) while this access was in flight.
+			if r4.epoch == ep {
+				r4.c.RemoveParityPending(pick.Key)
+			}
 			r4.spooling = false
 			// A freed slot may unblock stalled destages.
 			if len(r4.stalled) > 0 {

@@ -21,7 +21,7 @@ type Store struct {
 	failed    []bool
 
 	// Stats
-	Reads, Writes, Reconstructions int64
+	Reads, Writes, Reconstructions, DegradedWrites int64
 }
 
 // New builds a store over the given layout with blockSize-byte blocks.
@@ -74,9 +74,11 @@ func xorInto(dst, src []byte) {
 
 // Write stores one logical block, maintaining parity with the
 // read-modify-write rule: new parity = old parity XOR old data XOR new
-// data. It fails if the block's home disk or parity disk is failed (the
-// degraded-write path is HandleDegradedWrite's job in package recovery;
-// here we keep semantics strict to catch bugs).
+// data. With a single disk failed it degrades gracefully: a write whose
+// home disk is down folds the new data into parity alone (parity = new
+// data XOR all surviving members), so a later Read or Rebuild recovers
+// it; a write whose parity disk is down lands on the home disk with no
+// parity update. Writes striking two failed disks report data loss.
 func (s *Store) Write(lba int64, data []byte) error {
 	if len(data) != s.blockSize {
 		return fmt.Errorf("blockdev: write of %d bytes, block size is %d", len(data), s.blockSize)
@@ -86,11 +88,35 @@ func (s *Store) Write(lba int64, data []byte) error {
 	}
 	home := s.lay.Map(lba)
 	ploc := s.lay.Parity(lba)
-	if s.failed[home.Disk] {
-		return fmt.Errorf("blockdev: disk %d is failed", home.Disk)
-	}
-	if s.failed[ploc.Disk] {
-		return fmt.Errorf("blockdev: parity disk %d is failed", ploc.Disk)
+	switch {
+	case s.failed[home.Disk] && s.failed[ploc.Disk]:
+		return fmt.Errorf("blockdev: write lost, double failure (disks %d and %d)", home.Disk, ploc.Disk)
+	case s.failed[home.Disk]:
+		// Degraded write to a dead home: the only remaining copy of this
+		// block is the one encoded in parity. Recompute parity from the
+		// surviving stripe members plus the new data.
+		parity := make([]byte, s.blockSize)
+		copy(parity, data)
+		for _, m := range s.lay.StripeMembers(lba) {
+			if m == lba {
+				continue
+			}
+			mloc := s.lay.Map(m)
+			if s.failed[mloc.Disk] {
+				return fmt.Errorf("blockdev: write lost, double failure (disks %d and %d)", home.Disk, mloc.Disk)
+			}
+			xorInto(parity, s.rawRead(mloc))
+		}
+		s.rawWrite(ploc, parity)
+		s.Writes++
+		s.DegradedWrites++
+		return nil
+	case s.failed[ploc.Disk]:
+		// Parity disk down: plain unprotected write to the home disk.
+		s.rawWrite(home, data)
+		s.Writes++
+		s.DegradedWrites++
+		return nil
 	}
 	old := s.rawRead(home)
 	parity := s.rawRead(ploc)

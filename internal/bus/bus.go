@@ -5,6 +5,8 @@
 package bus
 
 import (
+	"fmt"
+
 	"raidsim/internal/sim"
 	"raidsim/internal/stats"
 )
@@ -30,11 +32,11 @@ type transfer struct {
 }
 
 // NewChannel returns a channel transferring at mbps megabytes per second.
-func NewChannel(eng *sim.Engine, mbps float64) *Channel {
+func NewChannel(eng *sim.Engine, mbps float64) (*Channel, error) {
 	if mbps <= 0 {
-		panic("bus: channel rate must be positive")
+		return nil, fmt.Errorf("bus: channel rate must be positive, got %g", mbps)
 	}
-	return &Channel{eng: eng, rate: mbps * 1e6 / float64(sim.Second)}
+	return &Channel{eng: eng, rate: mbps * 1e6 / float64(sim.Second)}, nil
 }
 
 // TransferTime returns the busy time for moving n bytes.
@@ -97,11 +99,11 @@ type bufWaiter struct {
 }
 
 // NewBufferPool returns a pool with n buffers.
-func NewBufferPool(eng *sim.Engine, n int) *BufferPool {
+func NewBufferPool(eng *sim.Engine, n int) (*BufferPool, error) {
 	if n <= 0 {
-		panic("bus: buffer pool must have at least one buffer")
+		return nil, fmt.Errorf("bus: buffer pool must have at least one buffer, got %d", n)
 	}
-	return &BufferPool{eng: eng, free: n, cap: n}
+	return &BufferPool{eng: eng, free: n, cap: n}, nil
 }
 
 // Free reports available buffers.

@@ -6,9 +6,39 @@ import (
 	"raidsim/internal/sim"
 )
 
+func mustChannel(t *testing.T, eng *sim.Engine, mbps float64) *Channel {
+	t.Helper()
+	c, err := NewChannel(eng, mbps)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	return c
+}
+
+func mustPool(t *testing.T, eng *sim.Engine, units int) *BufferPool {
+	t.Helper()
+	p, err := NewBufferPool(eng, units)
+	if err != nil {
+		t.Fatalf("NewBufferPool: %v", err)
+	}
+	return p
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewChannel(sim.New(), 0); err == nil {
+		t.Fatal("zero-rate channel should be rejected")
+	}
+	if _, err := NewChannel(sim.New(), -1); err == nil {
+		t.Fatal("negative-rate channel should be rejected")
+	}
+	if _, err := NewBufferPool(sim.New(), 0); err == nil {
+		t.Fatal("zero-capacity pool should be rejected")
+	}
+}
+
 func TestChannelTransferTime(t *testing.T) {
 	eng := sim.New()
-	c := NewChannel(eng, 10) // 10 MB/s
+	c := mustChannel(t, eng, 10) // 10 MB/s
 	// 4096 bytes at 10 MB/s = 409.6 us.
 	if got := c.TransferTime(4096); got < 409000 || got > 410000 {
 		t.Fatalf("transfer time = %d ns", got)
@@ -17,7 +47,7 @@ func TestChannelTransferTime(t *testing.T) {
 
 func TestChannelFIFO(t *testing.T) {
 	eng := sim.New()
-	c := NewChannel(eng, 10)
+	c := mustChannel(t, eng, 10)
 	var done []sim.Time
 	for i := 0; i < 3; i++ {
 		c.Transfer(4096, func() { done = append(done, eng.Now()) })
@@ -43,7 +73,7 @@ func TestChannelFIFO(t *testing.T) {
 
 func TestChannelWaits(t *testing.T) {
 	eng := sim.New()
-	c := NewChannel(eng, 10)
+	c := mustChannel(t, eng, 10)
 	c.Transfer(4096, nil)
 	c.Transfer(4096, nil)
 	eng.Run()
@@ -61,12 +91,12 @@ func TestChannelValidation(t *testing.T) {
 			t.Fatal("zero-size transfer should panic")
 		}
 	}()
-	NewChannel(sim.New(), 10).Transfer(0, nil)
+	mustChannel(t, sim.New(), 10).Transfer(0, nil)
 }
 
 func TestBufferPoolGrantAndQueue(t *testing.T) {
 	eng := sim.New()
-	p := NewBufferPool(eng, 5)
+	p := mustPool(t, eng, 5)
 	granted := []int{}
 	p.Acquire(3, func() { granted = append(granted, 3) })
 	p.Acquire(2, func() { granted = append(granted, 2) })
@@ -96,7 +126,7 @@ func TestBufferPoolGrantAndQueue(t *testing.T) {
 
 func TestBufferPoolFIFONoOvertake(t *testing.T) {
 	eng := sim.New()
-	p := NewBufferPool(eng, 4)
+	p := mustPool(t, eng, 4)
 	var order []int
 	p.Acquire(4, func() { order = append(order, 0) })
 	p.Acquire(3, func() { order = append(order, 1) })
@@ -112,7 +142,7 @@ func TestBufferPoolFIFONoOvertake(t *testing.T) {
 
 func TestBufferPoolClampsOversized(t *testing.T) {
 	eng := sim.New()
-	p := NewBufferPool(eng, 5)
+	p := mustPool(t, eng, 5)
 	ok := false
 	p.Acquire(50, func() { ok = true }) // clamped to 5
 	if !ok {
@@ -129,7 +159,7 @@ func TestBufferPoolClampsOversized(t *testing.T) {
 
 func TestBufferPoolOverReleasePanics(t *testing.T) {
 	eng := sim.New()
-	p := NewBufferPool(eng, 2)
+	p := mustPool(t, eng, 2)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("over-release should panic")
@@ -140,7 +170,7 @@ func TestBufferPoolOverReleasePanics(t *testing.T) {
 
 func TestBufferPoolZeroAcquire(t *testing.T) {
 	eng := sim.New()
-	p := NewBufferPool(eng, 2)
+	p := mustPool(t, eng, 2)
 	ran := false
 	p.Acquire(0, func() { ran = true })
 	if !ran || p.Free() != 2 {

@@ -71,10 +71,10 @@ type ParityKey struct {
 	Block int64
 }
 
-// New returns an empty cache. It panics on a non-positive capacity.
-func New(cfg Config) *Cache {
+// New returns an empty cache. It rejects a non-positive capacity.
+func New(cfg Config) (*Cache, error) {
 	if cfg.Blocks <= 0 {
-		panic("cache: capacity must be positive")
+		return nil, fmt.Errorf("cache: capacity must be positive, got %d", cfg.Blocks)
 	}
 	if cfg.ParityReserve < 0 || cfg.ParityReserve >= cfg.Blocks {
 		cfg.ParityReserve = cfg.Blocks / 16
@@ -83,7 +83,7 @@ func New(cfg Config) *Cache {
 		cfg:    cfg,
 		m:      make(map[int64]*Entry),
 		parity: make(map[ParityKey]bool),
-	}
+	}, nil
 }
 
 // Capacity returns the slot capacity.

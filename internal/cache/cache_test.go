@@ -8,7 +8,15 @@ import (
 )
 
 func newCache(blocks int, keepOld bool) *Cache {
-	return New(Config{Blocks: blocks, KeepOldData: keepOld, ParityReserve: 2})
+	return mustNew(Config{Blocks: blocks, KeepOldData: keepOld, ParityReserve: 2})
+}
+
+func mustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 func TestBasicLRU(t *testing.T) {
@@ -180,7 +188,7 @@ func TestParityPending(t *testing.T) {
 }
 
 func TestParityAdmissionStall(t *testing.T) {
-	c := New(Config{Blocks: 4, KeepOldData: true, ParityReserve: 2})
+	c := mustNew(Config{Blocks: 4, KeepOldData: true, ParityReserve: 2})
 	// Parity may occupy at most Blocks - ParityReserve = 2 slots.
 	if !c.AddParityPending(ParityKey{0, 1}, false) {
 		t.Fatal("first admission failed")
@@ -195,7 +203,7 @@ func TestParityAdmissionStall(t *testing.T) {
 		t.Fatalf("stall count %d", c.S.ParityStalls)
 	}
 	// A full cache also stalls admission even under the parity cap.
-	c2 := New(Config{Blocks: 4, KeepOldData: true, ParityReserve: 1})
+	c2 := mustNew(Config{Blocks: 4, KeepOldData: true, ParityReserve: 1})
 	for i := int64(0); i < 4; i++ {
 		c2.Insert(i, false)
 	}
@@ -238,7 +246,7 @@ func TestAccountingPanics(t *testing.T) {
 func TestQuickOccupancyInvariant(t *testing.T) {
 	f := func(seed uint64) bool {
 		src := rng.New(seed)
-		c := New(Config{Blocks: 16, KeepOldData: true, ParityReserve: 4})
+		c := mustNew(Config{Blocks: 16, KeepOldData: true, ParityReserve: 4})
 		inCache := map[int64]bool{}
 		destaging := map[int64]bool{}
 		pending := map[ParityKey]bool{}

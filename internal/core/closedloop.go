@@ -49,7 +49,10 @@ func RunClosedLoop(cfg Config, tr *trace.Trace, cl ClosedLoopConfig) (*ClosedLoo
 	if tr.NumDisks != cfg.DataDisks {
 		return nil, fmt.Errorf("core: trace has %d disks, config expects %d", tr.NumDisks, cfg.DataDisks)
 	}
-	subs := tr.SplitByGroup(cfg.N)
+	subs, err := tr.SplitByGroup(cfg.N)
+	if err != nil {
+		return nil, err
+	}
 	parts := make([]*array.Results, len(subs))
 	events := make([]uint64, len(subs))
 	spans := make([]sim.Time, len(subs))
@@ -59,23 +62,22 @@ func RunClosedLoop(cfg Config, tr *trace.Trace, cl ClosedLoopConfig) (*ClosedLoo
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	widths := cfg.groupDisks(len(subs))
+	faults, err := cfg.groupFaults(widths)
+	if err != nil {
+		return nil, err
+	}
+
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for g, sub := range subs {
-		disks := cfg.N
-		if g > 0 && g == len(subs)-1 {
-			disks = cfg.DataDisks - g*cfg.N
-		}
-		if disks < 2 {
-			disks = 2
-		}
 		wg.Add(1)
-		go func(g int, sub *trace.Trace, disks int) {
+		go func(g int, sub *trace.Trace) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			parts[g], events[g], spans[g], errs[g] = runOneArrayClosed(cfg.arrayConfig(g, disks), sub, cl)
-		}(g, sub, disks)
+			parts[g], events[g], spans[g], errs[g] = runOneArrayClosed(cfg.arrayConfig(g, widths[g], faults[g]), sub, cl)
+		}(g, sub)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -13,6 +13,7 @@ import (
 	"raidsim/internal/array"
 	"raidsim/internal/cache"
 	"raidsim/internal/disk"
+	"raidsim/internal/fault"
 	"raidsim/internal/geom"
 	"raidsim/internal/layout"
 	"raidsim/internal/sim"
@@ -54,6 +55,19 @@ type Config struct {
 
 	// Workers caps concurrent array simulations; 0 means GOMAXPROCS.
 	Workers int
+
+	// Fault configures system-wide fault injection. Deterministic disk
+	// failures (Fault.DiskFails) address physical disks in array-major
+	// order and are routed to the array that owns each drive; stochastic
+	// settings (MTTF, sector errors, cache failure) apply to every array,
+	// each with an independently derived seed.
+	Fault fault.Config
+	// Spares is the per-array hot-spare pool.
+	Spares int
+	// RebuildChunk is blocks per rebuild I/O (default 48); RebuildPause
+	// inserts idle time between chunks to favor foreground traffic.
+	RebuildChunk int
+	RebuildPause sim.Time
 }
 
 // Validate reports configuration errors.
@@ -70,7 +84,10 @@ func (c Config) Validate() error {
 	if err := c.Spec.Validate(); err != nil {
 		return err
 	}
-	return nil
+	if c.Spares < 0 {
+		return fmt.Errorf("core: negative spare count %d", c.Spares)
+	}
+	return c.Fault.Validate()
 }
 
 // Arrays returns the number of arrays the system needs.
@@ -98,7 +115,7 @@ func (c Config) PhysicalDisks() int {
 	return n
 }
 
-func (c Config) arrayConfig(group, disks int) array.Config {
+func (c Config) arrayConfig(group, disks int, fc fault.Config) array.Config {
 	return array.Config{
 		Org:              c.Org,
 		N:                disks,
@@ -116,7 +133,81 @@ func (c Config) arrayConfig(group, disks int) array.Config {
 		DiskSched:        c.DiskSched,
 		SyncSpindles:     c.SyncSpindles,
 		Seed:             c.Seed*1000003 + uint64(group)*7919 + 17,
+		Fault:            fc,
+		Spares:           c.Spares,
+		RebuildChunk:     c.RebuildChunk,
+		RebuildPause:     c.RebuildPause,
 	}
+}
+
+// physWidth returns the physical drive count of one array holding the
+// given number of data disks.
+func (c Config) physWidth(disks int) int {
+	switch c.Org {
+	case array.OrgMirror:
+		return 2 * disks
+	case array.OrgBase, array.OrgRAID0:
+		return disks
+	}
+	return disks + 1
+}
+
+// groupDisks returns the data-disk width of each array group, mirroring
+// the assignment Run and RunClosedLoop make.
+func (c Config) groupDisks(ngroups int) []int {
+	out := make([]int, ngroups)
+	for g := range out {
+		disks := c.N
+		if g > 0 && g == ngroups-1 {
+			// Tail array holds only the remaining data disks. (The g == 0
+			// case with N > DataDisks intentionally keeps the full width:
+			// the database stripes across the whole wider array.)
+			disks = c.DataDisks - g*c.N
+		}
+		if disks < 2 {
+			// A 1-disk tail array can't host a parity group; fold it into
+			// a 2-disk array by borrowing capacity (the trace addresses
+			// still fit after wrapping).
+			disks = 2
+		}
+		out[g] = disks
+	}
+	return out
+}
+
+// groupFaults splits the system-wide fault config into per-array configs:
+// deterministic failures land on the array owning the physical drive
+// (array-major numbering), stochastic streams get per-group seeds.
+func (c Config) groupFaults(widths []int) ([]fault.Config, error) {
+	out := make([]fault.Config, len(widths))
+	if !c.Fault.Enabled() {
+		return out, nil
+	}
+	total := 0
+	for _, w := range widths {
+		total += c.physWidth(w)
+	}
+	for _, f := range c.Fault.DiskFails {
+		if f.Disk >= total {
+			return nil, fmt.Errorf("core: fault disk %d out of range; system has %d physical disks", f.Disk, total)
+		}
+	}
+	offset := 0
+	for g, w := range widths {
+		pw := c.physWidth(w)
+		fc := c.Fault
+		fc.DiskFails = nil
+		for _, f := range c.Fault.DiskFails {
+			if f.Disk >= offset && f.Disk < offset+pw {
+				f.Disk -= offset
+				fc.DiskFails = append(fc.DiskFails, f)
+			}
+		}
+		fc.Seed = c.Fault.Seed*1000003 + uint64(g)*7919 + 29
+		out[g] = fc
+		offset += pw
+	}
+	return out, nil
 }
 
 // Results aggregates a whole system's simulation.
@@ -129,6 +220,13 @@ type Results struct {
 	Resp      stats.Summary // response time, ms
 	ReadResp  stats.Summary
 	WriteResp stats.Summary
+
+	// Fault-injection results: response times split by whether the array
+	// was degraded when the request completed, plus aggregated fault
+	// counters across all arrays.
+	NormalResp   stats.Summary
+	DegradedResp stats.Summary
+	Fault        array.FaultResults
 
 	ReadHits, ReadMisses   int64
 	WriteHits, WriteMisses int64
@@ -211,6 +309,13 @@ func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, er
 		return nil, 0, fmt.Errorf("core: array %q did not drain within %ds grace — controller wedged or hopelessly overloaded",
 			sub.Name, drainGrace/sim.Second)
 	}
+	// Let an in-flight hot-spare rebuild finish so the results report its
+	// duration (the foreground workload is already drained).
+	if ra, ok := ctrl.(interface{ RebuildActive() bool }); ok {
+		for ra.RebuildActive() && eng.Now() < deadline {
+			eng.RunFor(sim.Second)
+		}
+	}
 	return ctrl.Results(), eng.Steps(), nil
 }
 
@@ -225,10 +330,19 @@ func Run(cfg Config, tr *trace.Trace) (*Results, error) {
 	if tr.BlocksPerDisk != cfg.Spec.BlocksPerDisk() {
 		return nil, fmt.Errorf("core: trace has %d blocks/disk, disk model has %d", tr.BlocksPerDisk, cfg.Spec.BlocksPerDisk())
 	}
-	subs := tr.SplitByGroup(cfg.N)
+	subs, err := tr.SplitByGroup(cfg.N)
+	if err != nil {
+		return nil, err
+	}
 	parts := make([]*array.Results, len(subs))
 	events := make([]uint64, len(subs))
 	errs := make([]error, len(subs))
+
+	widths := cfg.groupDisks(len(subs))
+	faults, err := cfg.groupFaults(widths)
+	if err != nil {
+		return nil, err
+	}
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -237,26 +351,13 @@ func Run(cfg Config, tr *trace.Trace) (*Results, error) {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for g, sub := range subs {
-		disks := cfg.N
-		if g > 0 && g == len(subs)-1 {
-			// Tail array holds only the remaining data disks. (The g == 0
-			// case with N > DataDisks intentionally keeps the full width:
-			// the database stripes across the whole wider array.)
-			disks = cfg.DataDisks - g*cfg.N
-		}
-		if disks < 2 {
-			// A 1-disk tail array can't host a parity group; fold it into
-			// a 2-disk array by borrowing capacity (the trace addresses
-			// still fit after wrapping).
-			disks = 2
-		}
 		wg.Add(1)
-		go func(g int, sub *trace.Trace, disks int) {
+		go func(g int, sub *trace.Trace) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			parts[g], events[g], errs[g] = runOneArray(cfg.arrayConfig(g, disks), sub)
-		}(g, sub, disks)
+			parts[g], events[g], errs[g] = runOneArray(cfg.arrayConfig(g, widths[g], faults[g]), sub)
+		}(g, sub)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -275,6 +376,9 @@ func merge(cfg Config, parts []*array.Results, events []uint64) *Results {
 		out.Resp.Merge(&p.Resp)
 		out.ReadResp.Merge(&p.ReadResp)
 		out.WriteResp.Merge(&p.WriteResp)
+		out.NormalResp.Merge(&p.NormalResp)
+		out.DegradedResp.Merge(&p.DegradedResp)
+		mergeFaultResults(&out.Fault, &p.Fault)
 		out.ReadHits += p.ReadHits
 		out.ReadMisses += p.ReadMisses
 		out.WriteHits += p.WriteHits
@@ -299,6 +403,27 @@ func merge(cfg Config, parts []*array.Results, events []uint64) *Results {
 		out.SeekDistMean = wsum / w
 	}
 	return out
+}
+
+func mergeFaultResults(dst, src *array.FaultResults) {
+	dst.Enabled = dst.Enabled || src.Enabled
+	dst.Failures += src.Failures
+	dst.CacheFailures += src.CacheFailures
+	dst.SparesUsed += src.SparesUsed
+	dst.Rebuilds += src.Rebuilds
+	dst.RebuildTime += src.RebuildTime
+	dst.RebuildActive = dst.RebuildActive || src.RebuildActive
+	dst.DegradedTime += src.DegradedTime
+	dst.DegradedWindows += src.DegradedWindows
+	dst.DegradedActive = dst.DegradedActive || src.DegradedActive
+	dst.DataLossEvents += src.DataLossEvents
+	dst.LostReadBlocks += src.LostReadBlocks
+	dst.LostWriteBlocks += src.LostWriteBlocks
+	dst.DirtyBlocksLost += src.DirtyBlocksLost
+	dst.SectorErrors += src.SectorErrors
+	dst.SectorRetries += src.SectorRetries
+	dst.SectorReconstructs += src.SectorReconstructs
+	dst.FailoverReads += src.FailoverReads
 }
 
 func mergeCacheStats(dst, src *cache.Stats) {

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"raidsim/internal/array"
+	"raidsim/internal/fault"
+	"raidsim/internal/geom"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+	"raidsim/internal/workload"
+)
+
+func faultTestTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	p := workload.Trace2Profile()
+	p.Requests = 2000
+	p.Duration = 100 * sim.Second
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestRunWithFailure injects a mid-run failure into a two-array RAID5
+// system and checks the degraded/normal split and rebuild accounting
+// surface through the merged results.
+func TestRunWithFailure(t *testing.T) {
+	tr := faultTestTrace(t)
+	cfg := Config{
+		Org: array.OrgRAID5, DataDisks: 10, N: 5, Spec: geom.Default(),
+		Sync: array.DF, Seed: 7,
+		Fault: fault.Config{
+			DiskFails: []fault.DiskFail{{Disk: 0, At: 30 * sim.Second}},
+		},
+		Spares: 1,
+	}
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Fault
+	if !f.Enabled || f.Failures != 1 {
+		t.Fatalf("failures = %d, want 1 (enabled=%v)", f.Failures, f.Enabled)
+	}
+	if f.SparesUsed != 1 || f.Rebuilds != 1 || f.RebuildTime <= 0 {
+		t.Fatalf("rebuild accounting wrong: %+v", f)
+	}
+	if f.RebuildActive || f.DegradedActive {
+		t.Fatalf("run ended degraded: %+v", f)
+	}
+	if f.DegradedTime <= 0 || f.DegradedWindows != 1 {
+		t.Fatalf("degraded window missing: %+v", f)
+	}
+	if f.DataLossEvents != 0 || f.LostReadBlocks != 0 || f.LostWriteBlocks != 0 {
+		t.Fatalf("single failure with redundancy lost data: %+v", f)
+	}
+	if res.NormalResp.N()+res.DegradedResp.N() != res.Resp.N() {
+		t.Fatalf("degraded/normal split %d+%d != total %d",
+			res.NormalResp.N(), res.DegradedResp.N(), res.Resp.N())
+	}
+	if res.DegradedResp.N() == 0 {
+		t.Fatal("no requests completed during the degraded window")
+	}
+}
+
+// TestRunFaultRouting: a global physical-disk index addresses the array
+// that owns the drive. Disk 6 of a 2x(5+1) RAID5 system is the second
+// array's first drive, so only that array should degrade.
+func TestRunFaultRouting(t *testing.T) {
+	tr := faultTestTrace(t)
+	cfg := Config{
+		Org: array.OrgRAID5, DataDisks: 10, N: 5, Spec: geom.Default(),
+		Sync: array.DF, Seed: 7,
+		Fault: fault.Config{
+			DiskFails: []fault.DiskFail{{Disk: 6, At: 20 * sim.Second}},
+		},
+	}
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Fault.Failures)
+	}
+	if res.PerArray[0].Fault.Failures != 0 || res.PerArray[1].Fault.Failures != 1 {
+		t.Fatalf("failure routed to wrong array: %d/%d",
+			res.PerArray[0].Fault.Failures, res.PerArray[1].Fault.Failures)
+	}
+	// Out-of-range physical index is rejected.
+	cfg.Fault.DiskFails = []fault.DiskFail{{Disk: 12, At: sim.Second}}
+	if _, err := Run(cfg, tr); err == nil {
+		t.Fatal("fault on nonexistent disk accepted")
+	}
+}
+
+// TestRunWithFailureDeterministic: the acceptance criterion — a faulted
+// run is bit-identical per seed, spare rebuild included.
+func TestRunWithFailureDeterministic(t *testing.T) {
+	tr := faultTestTrace(t)
+	cfg := Config{
+		Org: array.OrgRAID5, DataDisks: 10, N: 5, Spec: geom.Default(),
+		Sync: array.DF, Seed: 11,
+		Fault: fault.Config{
+			DiskFails:       []fault.DiskFail{{Disk: 2, At: 30 * sim.Second}},
+			SectorErrorRate: 1e-4,
+			Seed:            3,
+		},
+		Spares: 1,
+	}
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, same fault schedule: results diverged")
+	}
+}

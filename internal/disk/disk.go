@@ -72,6 +72,7 @@ type Stats struct {
 	SeekCount     int64 // seeks with distance >= 1
 	HeldRotations int64 // extra full rotations waiting for RMW inputs
 	RMWAborts     int64 // RMWs that gave up holding and requeued
+	Dropped       int64 // requests refused because the drive had failed
 	QueueWait     stats.Summary
 	ServiceTime   stats.Summary
 	Util          stats.Utilization
@@ -84,9 +85,10 @@ type Disk struct {
 	spec geom.Spec
 	seek geom.SeekModel
 
-	phase float64 // initial rotational phase, fraction of a revolution
-	cyl   int     // current arm cylinder
-	busy  bool
+	phase  float64 // initial rotational phase, fraction of a revolution
+	cyl    int     // current arm cylinder
+	busy   bool
+	failed bool
 
 	sched  Sched
 	lookUp bool // LOOK sweep direction
@@ -124,6 +126,56 @@ func (d *Disk) QueueLen() int {
 // Busy reports whether the mechanism is in use.
 func (d *Disk) Busy() bool { return d.busy }
 
+// Failed reports whether the drive has failed.
+func (d *Disk) Failed() bool { return d.failed }
+
+// Fail kills the drive. Queued requests are dropped — their callbacks
+// still fire (in order, a moment later) so controller bookkeeping that
+// waits on OnStart/OnReadDone/OnDone stays live; it is the controller's
+// job to know the drive is dead and not trust the "data". A request
+// already holding the mechanism completes normally (its media pass was in
+// flight when the electronics died). Idempotent.
+func (d *Disk) Fail() {
+	if d.failed {
+		return
+	}
+	d.failed = true
+	for p := range d.queues {
+		for _, r := range d.queues[p] {
+			d.drop(r)
+		}
+		d.queues[p] = nil
+	}
+}
+
+// Repair puts a fresh working drive in this slot (hot-spare swap). The
+// replacement mechanism starts with its arm at cylinder 0; rotational
+// phase is inherited (one arbitrary phase is as good as another).
+func (d *Disk) Repair() {
+	if !d.failed {
+		return
+	}
+	d.failed = false
+	d.cyl = 0
+}
+
+// drop fails one request: its lifecycle callbacks fire in the usual
+// order on a fresh engine event, with no media time modeled.
+func (d *Disk) drop(r *Request) {
+	d.S.Dropped++
+	d.eng.After(0, func() {
+		if r.OnStart != nil {
+			r.OnStart()
+		}
+		if r.RMW && r.OnReadDone != nil {
+			r.OnReadDone()
+		}
+		if r.OnDone != nil {
+			r.OnDone()
+		}
+	})
+}
+
 // Submit enqueues a request. It panics on malformed requests — those are
 // controller bugs, not simulated conditions.
 func (d *Disk) Submit(r *Request) {
@@ -142,6 +194,10 @@ func (d *Disk) Submit(r *Request) {
 	}
 	if r.Priority < 0 || r.Priority >= numPriorities {
 		panic("disk: bad priority")
+	}
+	if d.failed {
+		d.drop(r)
+		return
 	}
 	r.enqueued = d.eng.Now()
 	d.queues[r.Priority] = append(d.queues[r.Priority], r)
@@ -313,6 +369,10 @@ func (d *Disk) requeue(r *Request) {
 	d.S.BlocksWritten -= int64(r.Blocks)
 	d.busy = false
 	d.S.Util.SetIdle(d.eng.Now())
+	if d.failed {
+		d.drop(r)
+		return
+	}
 	r.enqueued = d.eng.Now()
 	d.queues[r.Priority] = append(d.queues[r.Priority], r)
 	d.trySchedule()

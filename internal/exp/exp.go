@@ -114,7 +114,10 @@ func (ctx *Context) Trace(name string, speed float64) *trace.Trace {
 	if speed == 1 {
 		return base
 	}
-	t := base.Scale(speed)
+	t, err := base.Scale(speed)
+	if err != nil {
+		panic(fmt.Sprintf("exp: scaling %s: %v", name, err))
+	}
 	ctx.traces[key] = t
 	return t
 }

@@ -1,0 +1,193 @@
+// Package fault is the simulator's fault-injection subsystem. It turns
+// "what if a drive dies mid-run?" into a first-class, deterministic part
+// of a simulation: disk failures scheduled at fixed times or drawn from
+// an exponential MTTF process, latent sector errors sampled per media
+// read, and NVRAM cache failure. The injector only decides *when* faults
+// happen; *what* a fault means — degraded reads, single-copy writes,
+// hot-spare rebuild — is the array controller's job (package array),
+// reached through the Handler interface.
+//
+// Determinism: every stochastic decision comes from dedicated rng streams
+// derived from Config.Seed, independent of the request path, and all
+// events run on the array's single-threaded sim.Engine. The same seed and
+// workload therefore produce bit-identical results, failures included.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"raidsim/internal/rng"
+	"raidsim/internal/sim"
+)
+
+// DiskFail is one deterministic failure: disk Disk dies at time At.
+// At == 0 models a pre-failed array (the drive is dead before the first
+// request arrives).
+type DiskFail struct {
+	Disk int
+	At   sim.Time
+}
+
+// Config describes a fault campaign against one array. The zero value
+// injects nothing.
+type Config struct {
+	// DiskFails are deterministic failure events.
+	DiskFails []DiskFail
+	// MTTF, when positive, gives every drive an independent exponential
+	// lifetime with this mean; a replacement (hot spare swapped in after
+	// rebuild) draws a fresh lifetime.
+	MTTF sim.Time
+	// CacheFailAt, when positive, fails the NVRAM controller cache at
+	// this time. Organizations without a cache ignore it.
+	CacheFailAt sim.Time
+	// SectorErrorRate is the per-block probability that a media read pass
+	// surfaces a latent sector error. Errors are retried up to
+	// MaxReadRetries times and then recovered from redundancy (or counted
+	// as lost on non-redundant organizations).
+	SectorErrorRate float64
+	// MaxReadRetries bounds the retry-then-reconstruct loop (default 2).
+	MaxReadRetries int
+	// Seed drives the stochastic streams (lifetimes, sector errors).
+	Seed uint64
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return len(c.DiskFails) > 0 || c.MTTF > 0 || c.CacheFailAt > 0 || c.SectorErrorRate > 0
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, f := range c.DiskFails {
+		if f.Disk < 0 {
+			return fmt.Errorf("fault: negative disk index %d", f.Disk)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("fault: disk %d failure scheduled at negative time %d", f.Disk, f.At)
+		}
+	}
+	if c.MTTF < 0 {
+		return fmt.Errorf("fault: negative MTTF")
+	}
+	if c.CacheFailAt < 0 {
+		return fmt.Errorf("fault: negative cache failure time")
+	}
+	if c.SectorErrorRate < 0 || c.SectorErrorRate >= 1 {
+		return fmt.Errorf("fault: sector error rate %g outside [0,1)", c.SectorErrorRate)
+	}
+	if c.MaxReadRetries < 0 {
+		return fmt.Errorf("fault: negative retry bound")
+	}
+	return nil
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxReadRetries == 0 {
+		c.MaxReadRetries = 2
+	}
+}
+
+// Handler is the fault consumer — implemented by array controllers. Both
+// calls are idempotent: failing an already-failed disk (or cache) is a
+// no-op, so overlapping deterministic and stochastic events are harmless.
+type Handler interface {
+	// FailDisk kills physical disk d of the array at the current time.
+	FailDisk(d int)
+	// FailCache kills the NVRAM cache, losing its dirty contents.
+	FailCache()
+}
+
+// Injector schedules the configured faults onto an engine and answers
+// per-read sector-error queries.
+type Injector struct {
+	eng    *sim.Engine
+	cfg    Config
+	ndisks int
+	h      Handler
+
+	life  *rng.Source // drive lifetimes
+	media *rng.Source // sector errors
+}
+
+// NewInjector builds an injector for an array of ndisks drives.
+func NewInjector(eng *sim.Engine, cfg Config, ndisks int) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ndisks <= 0 {
+		return nil, fmt.Errorf("fault: array has no disks")
+	}
+	for _, f := range cfg.DiskFails {
+		if f.Disk >= ndisks {
+			return nil, fmt.Errorf("fault: disk %d out of range [0,%d)", f.Disk, ndisks)
+		}
+	}
+	cfg.fillDefaults()
+	root := rng.New(cfg.Seed ^ 0xfa17fa17fa17fa17)
+	return &Injector{
+		eng:    eng,
+		cfg:    cfg,
+		ndisks: ndisks,
+		life:   root.Split(),
+		media:  root.Split(),
+	}, nil
+}
+
+// MaxReadRetries returns the bounded-retry budget for sector errors.
+func (in *Injector) MaxReadRetries() int { return in.cfg.MaxReadRetries }
+
+// Arm schedules every configured fault against h. Call once, before the
+// simulation starts (deterministic events with At earlier than the
+// current engine time would panic the scheduler).
+func (in *Injector) Arm(h Handler) {
+	if in.h != nil {
+		panic("fault: injector armed twice")
+	}
+	in.h = h
+	for _, f := range in.cfg.DiskFails {
+		f := f
+		in.eng.At(f.At, func() { h.FailDisk(f.Disk) })
+	}
+	if in.cfg.CacheFailAt > 0 {
+		in.eng.At(in.cfg.CacheFailAt, func() { h.FailCache() })
+	}
+	if in.cfg.MTTF > 0 {
+		for d := 0; d < in.ndisks; d++ {
+			in.armLifetime(d)
+		}
+	}
+}
+
+// armLifetime draws an exponential lifetime for the drive in slot d and
+// schedules its death.
+func (in *Injector) armLifetime(d int) {
+	life := sim.Time(in.life.Exp(float64(in.cfg.MTTF)))
+	if life < 1 {
+		life = 1
+	}
+	in.eng.After(life, func() { in.h.FailDisk(d) })
+}
+
+// DiskReplaced tells the injector a fresh drive (hot spare) now occupies
+// slot d; under a stochastic MTTF process the replacement gets its own
+// lifetime.
+func (in *Injector) DiskReplaced(d int) {
+	if in.cfg.MTTF > 0 && in.h != nil {
+		in.armLifetime(d)
+	}
+}
+
+// SectorFaulty samples whether a media read pass of n blocks surfaces a
+// latent sector error (per-block rate compounded over the run).
+func (in *Injector) SectorFaulty(n int) bool {
+	p := in.cfg.SectorErrorRate
+	if p <= 0 || n <= 0 {
+		return false
+	}
+	pn := p
+	if n > 1 {
+		pn = 1 - math.Pow(1-p, float64(n))
+	}
+	return in.media.Float64() < pn
+}

@@ -50,6 +50,19 @@ func MirrorPairMTTDLHours(p Params) float64 {
 	return m * m / (2 * p.MTTRHours)
 }
 
+// MirrorPairMTTDLHoursExact returns the exact Markov-chain MTTDL of one
+// mirrored pair with exponential failures and exponential repairs:
+// (3λ+µ)/(2λ²) = 1.5·MTTF + MTTF²/(2·MTTR). The approximation above drops
+// the 1.5·MTTF term, negligible when MTTR << MTTF; the fault-injection
+// campaign (package fault) converges to this exact value.
+func MirrorPairMTTDLHoursExact(p Params) float64 {
+	if p.MTTRHours == 0 {
+		return math.Inf(1)
+	}
+	m := p.DiskMTTFHours
+	return 1.5*m + m*m/(2*p.MTTRHours)
+}
+
 // MirrorFarmMTTDLHours returns the MTTDL of n independent mirrored pairs
 // (2n drives).
 func MirrorFarmMTTDLHours(p Params, pairs int) float64 {
@@ -73,6 +86,21 @@ func ArrayMTTDLHours(p Params, n int) float64 {
 	g := float64(n + 1)
 	m := p.DiskMTTFHours
 	return m * m / (g * (g - 1) * p.MTTRHours)
+}
+
+// ArrayMTTDLHoursExact returns the exact Markov-chain MTTDL of one N+1
+// parity array (G = N+1 drives, exponential repairs):
+// ((2G-1)λ+µ)/(G(G-1)λ²) = (2G-1)·MTTF/(G(G-1)) + MTTF²/(G(G-1)·MTTR).
+func ArrayMTTDLHoursExact(p Params, n int) float64 {
+	if n < 2 {
+		panic("reliability: parity array needs N >= 2")
+	}
+	if p.MTTRHours == 0 {
+		return math.Inf(1)
+	}
+	g := float64(n + 1)
+	m := p.DiskMTTFHours
+	return (2*g-1)*m/(g*(g-1)) + m*m/(g*(g-1)*p.MTTRHours)
 }
 
 // ArrayFarmMTTDLHours returns the MTTDL of a system of several N+1

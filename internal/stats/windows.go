@@ -1,0 +1,52 @@
+package stats
+
+import "raidsim/internal/sim"
+
+// Windows accumulates disjoint time windows — used for the spans an array
+// spends in degraded mode (first failure until the last rebuild
+// completes). Nested opens are reference-counted: a second drive failing
+// while the first rebuilds extends the same window.
+type Windows struct {
+	depth int
+	since sim.Time
+	total sim.Time
+	count int
+}
+
+// Open starts (or deepens) a window at time t.
+func (w *Windows) Open(t sim.Time) {
+	if w.depth == 0 {
+		w.since = t
+		w.count++
+	}
+	w.depth++
+}
+
+// Close ends one level of nesting at time t; the window closes when the
+// last level does. Closing while not open panics — that is caller-state
+// corruption, not a simulated condition.
+func (w *Windows) Close(t sim.Time) {
+	if w.depth == 0 {
+		panic("stats: closing a window that is not open")
+	}
+	w.depth--
+	if w.depth == 0 {
+		w.total += t - w.since
+	}
+}
+
+// Active reports whether a window is currently open.
+func (w *Windows) Active() bool { return w.depth > 0 }
+
+// Count returns how many distinct windows have been opened.
+func (w *Windows) Count() int { return w.count }
+
+// Total returns accumulated window time up to time t (including the open
+// window, if any).
+func (w *Windows) Total(t sim.Time) sim.Time {
+	tot := w.total
+	if w.depth > 0 && t > w.since {
+		tot += t - w.since
+	}
+	return tot
+}

@@ -83,9 +83,9 @@ func (t *Trace) Disk(r Record) int { return int(r.LBA / t.BlocksPerDisk) }
 // Scale returns a copy with arrival times divided by speed: speed 2 packs
 // the same requests into half the time (the paper's "trace speed 2").
 // The request stream itself is unchanged.
-func (t *Trace) Scale(speed float64) *Trace {
+func (t *Trace) Scale(speed float64) (*Trace, error) {
 	if speed <= 0 {
-		panic("trace: non-positive speed")
+		return nil, fmt.Errorf("trace: speed must be positive, got %g", speed)
 	}
 	out := &Trace{
 		Name:          fmt.Sprintf("%s@%gx", t.Name, speed),
@@ -97,7 +97,7 @@ func (t *Trace) Scale(speed float64) *Trace {
 		r.At = sim.Time(float64(r.At) / speed)
 		out.Records[i] = r
 	}
-	return out
+	return out, nil
 }
 
 // Truncate returns a copy containing at most n records.
@@ -115,9 +115,9 @@ func (t *Trace) Truncate(n int) *Trace {
 // last group taking any remainder. Each sub-trace keeps global timestamps
 // and is re-addressed to its own compact logical space, which is what an
 // independent array simulation consumes.
-func (t *Trace) SplitByGroup(perGroup int) []*Trace {
+func (t *Trace) SplitByGroup(perGroup int) ([]*Trace, error) {
 	if perGroup <= 0 {
-		panic("trace: non-positive group size")
+		return nil, fmt.Errorf("trace: group size must be positive, got %d", perGroup)
 	}
 	ngroups := (t.NumDisks + perGroup - 1) / perGroup
 	out := make([]*Trace, ngroups)
@@ -144,7 +144,7 @@ func (t *Trace) SplitByGroup(perGroup int) []*Trace {
 		}
 		sub.Records = append(sub.Records, r)
 	}
-	return out
+	return out, nil
 }
 
 // Merge interleaves several traces (which must share shape) by timestamp.

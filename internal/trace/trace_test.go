@@ -62,20 +62,32 @@ func TestValidate(t *testing.T) {
 
 func TestScale(t *testing.T) {
 	tr := sampleTrace()
-	fast := tr.Scale(2)
+	fast, err := tr.Scale(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fast.Duration() != tr.Duration()/2 {
 		t.Fatalf("2x speed duration %d, want %d", fast.Duration(), tr.Duration()/2)
 	}
 	if len(fast.Records) != len(tr.Records) {
 		t.Fatal("scaling changed record count")
 	}
-	slow := tr.Scale(0.5)
+	slow, err := tr.Scale(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if slow.Duration() != tr.Duration()*2 {
 		t.Fatalf("0.5x speed duration %d", slow.Duration())
 	}
 	// Original untouched.
 	if tr.Records[1].At != 1000 {
 		t.Fatal("Scale mutated the source trace")
+	}
+	if _, err := tr.Scale(0); err == nil {
+		t.Fatal("zero speed should be rejected")
+	}
+	if _, err := tr.Scale(-1); err == nil {
+		t.Fatal("negative speed should be rejected")
 	}
 }
 
@@ -92,7 +104,10 @@ func TestTruncate(t *testing.T) {
 
 func TestSplitByGroup(t *testing.T) {
 	tr := sampleTrace()
-	subs := tr.SplitByGroup(2) // disks {0,1}, {2,3}
+	subs, err := tr.SplitByGroup(2) // disks {0,1}, {2,3}
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(subs) != 2 {
 		t.Fatalf("got %d groups", len(subs))
 	}
@@ -110,9 +125,15 @@ func TestSplitByGroup(t *testing.T) {
 		}
 	}
 	// Uneven split: 4 disks into groups of 3 -> groups of 3 and 1 disks.
-	subs = tr.SplitByGroup(3)
+	subs, err = tr.SplitByGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(subs) != 2 || subs[0].NumDisks != 3 || subs[1].NumDisks != 1 {
 		t.Fatalf("uneven split wrong: %d groups", len(subs))
+	}
+	if _, err := tr.SplitByGroup(0); err == nil {
+		t.Fatal("non-positive group size should be rejected")
 	}
 }
 
@@ -120,7 +141,10 @@ func TestSplitPreservesEverything(t *testing.T) {
 	f := func(seed uint64, groupRaw uint8) bool {
 		tr := randomTrace(seed, 300)
 		per := 1 + int(groupRaw%8)
-		subs := tr.SplitByGroup(per)
+		subs, err := tr.SplitByGroup(per)
+		if err != nil {
+			return false
+		}
 		total := 0
 		for g, sub := range subs {
 			total += len(sub.Records)
@@ -144,7 +168,10 @@ func TestSplitPreservesEverything(t *testing.T) {
 
 func TestMerge(t *testing.T) {
 	tr := randomTrace(1, 200)
-	subs := tr.SplitByGroup(tr.NumDisks) // single group: identity modulo name
+	subs, err := tr.SplitByGroup(tr.NumDisks) // single group: identity modulo name
+	if err != nil {
+		t.Fatal(err)
+	}
 	merged, err := Merge("m", subs...)
 	if err != nil {
 		t.Fatal(err)
