@@ -283,6 +283,69 @@ func BenchmarkExtRAID3(b *testing.B) {
 	runBench(b, core.Config{Org: array.OrgRAID3, N: 10}, benchTrace(b, "trace2", 1))
 }
 
+// --- Controller Submit hot path ----------------------------------------
+
+// BenchmarkArraySubmit drives one array controller's Submit path per
+// organization with a mixed 30%-write workload, one request per
+// iteration (benchstat-friendly: compare runs with
+// `benchstat old.txt new.txt`). Baselines live in BENCH_array.json.
+func BenchmarkArraySubmit(b *testing.B) {
+	points := []struct {
+		name   string
+		org    array.Org
+		cached bool
+	}{
+		{"base", array.OrgBase, false},
+		{"mirror", array.OrgMirror, false},
+		{"raid10", array.OrgRAID10, false},
+		{"raid5", array.OrgRAID5, false},
+		{"pstripe", array.OrgParityStriping, false},
+		{"raid5cached", array.OrgRAID5, true},
+		{"raid4cached", array.OrgRAID4, true},
+	}
+	for _, p := range points {
+		b.Run(p.name, func(b *testing.B) {
+			eng := sim.New()
+			ctrl, err := array.New(eng, array.Config{
+				Org: p.org, N: 10, Spec: geom.Default(), Sync: array.DF,
+				Cached: p.cached, CacheBlocks: 4096, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := rng.New(42)
+			capacity := ctrl.DataBlocks()
+			// Closed loop: keep a fixed number of requests outstanding so
+			// the per-iteration work stays steady instead of queues growing
+			// without bound.
+			const mpl = 8
+			outstanding := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for outstanding >= mpl {
+					eng.RunFor(sim.Millisecond)
+				}
+				op := trace.Read
+				if src.Bool(0.3) {
+					op = trace.Write
+				}
+				outstanding++
+				ctrl.Submit(array.Request{
+					Op: op, LBA: src.Int63n(capacity - 8), Blocks: 1 + src.Intn(4),
+					OnComplete: func() { outstanding-- },
+				})
+			}
+			for j := 0; j < 1000000 && !ctrl.Drained(); j++ {
+				eng.RunFor(sim.Millisecond)
+			}
+			b.StopTimer()
+			if !ctrl.Drained() {
+				b.Fatal("controller did not drain")
+			}
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks ----------------------------------------
 
 func BenchmarkEventEngine(b *testing.B) {

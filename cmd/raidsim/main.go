@@ -34,7 +34,7 @@ func main() {
 		profile   = flag.String("profile", "trace2", "built-in workload: trace1 or trace2")
 		scale     = flag.Float64("scale", 0.1, "scale factor for the built-in workload")
 		speed     = flag.Float64("speed", 1, "trace speed factor (2 = twice the load)")
-		orgName   = flag.String("org", "raid5", "organization: base, mirror, raid5, raid4, pstripe")
+		orgName   = flag.String("org", "raid5", "organization: "+strings.Join(array.OrgNames(), ", "))
 		n         = flag.Int("n", 10, "data disks per array (N)")
 		su        = flag.Int("su", 1, "striping unit in blocks (RAID5/RAID4)")
 		syncName  = flag.String("sync", "df", "parity sync policy: si, rf, rfpr, df, dfpr")
@@ -193,6 +193,17 @@ func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk b
 	t.AddRow("mean seek distance (cyl)", fmt.Sprintf("%.1f", res.SeekDistMean))
 	t.AddRow("held rotations", fmt.Sprintf("%d", res.HeldRotations))
 	t.AddRow("parity accesses", fmt.Sprintf("%d", res.ParityAccesses))
+	if tot := res.Stages.Total(); tot > 0 {
+		stage := func(name string, ms float64) {
+			t.AddRow("  "+name, fmt.Sprintf("%.1f s (%.1f%%)", ms/1e3, 100*ms/tot))
+		}
+		t.AddRow("stage breakdown", fmt.Sprintf("%.1f disk-seconds", tot/1e3))
+		stage("queue wait", res.Stages.QueueMS)
+		stage("seek + rotate", res.Stages.SeekRotateMS)
+		stage("transfer", res.Stages.TransferMS)
+		stage("parity sync", res.Stages.ParitySyncMS)
+		stage("destage stall", res.Stages.DestageStallMS)
+	}
 	t.AddRow("events simulated", fmt.Sprintf("%d", res.Events))
 	var usum, umax float64
 	for _, u := range res.DiskUtil {
@@ -259,7 +270,7 @@ func runCampaign(orgName string, n int, mttfHours, mttrHours float64, runs int, 
 	}
 	var scheme fault.Scheme
 	switch org {
-	case array.OrgMirror:
+	case array.OrgMirror, array.OrgRAID10:
 		scheme = fault.MirrorPair
 	case array.OrgRAID5, array.OrgRAID4, array.OrgParityStriping:
 		scheme = fault.ParityArray

@@ -1,14 +1,21 @@
 // Package array implements the disk array controllers the paper compares:
 // Base (independent disks), Mirror, RAID5, Parity Striping and RAID4, each
-// in non-cached and cached variants. A controller owns an array's disks,
-// its channel and track buffers, and (when configured) its non-volatile
-// cache with the periodic destage process; it turns logical I/O requests
-// into physical disk accesses, including the read-modify-write parity
-// updates and their data/parity synchronization policies.
+// in non-cached and cached variants, plus the RAID1/0 (striped mirror
+// pairs) extension. A controller owns an array's disks, its channel and
+// track buffers, and (when configured) its non-volatile cache with the
+// periodic destage process; it turns logical I/O requests into physical
+// disk accesses, including the read-modify-write parity updates and their
+// data/parity synchronization policies.
+//
+// The controllers are a layered pipeline: a redundancy scheme (the
+// organization's mapping of logical runs to device operations, normal and
+// degraded — see scheme.go) sits between the shared request envelope /
+// optional NV-cache front-end above and the device/bus back-end below.
 package array
 
 import (
 	"fmt"
+	"strings"
 
 	"raidsim/internal/bus"
 	"raidsim/internal/cache"
@@ -26,7 +33,8 @@ import (
 type Org int
 
 // Organizations under study (Table 3 of the paper), plus the RAID0 and
-// RAID3 comparators from the related work (Chen et al.).
+// RAID3 comparators from the related work (Chen et al.) and the RAID1/0
+// striped-mirror extension.
 const (
 	OrgBase Org = iota
 	OrgMirror
@@ -36,6 +44,7 @@ const (
 	OrgRAID0
 	OrgRAID3
 	OrgParityLog
+	OrgRAID10
 )
 
 func (o Org) String() string {
@@ -56,17 +65,27 @@ func (o Org) String() string {
 		return "raid3"
 	case OrgParityLog:
 		return "plog"
+	case OrgRAID10:
+		return "raid10"
 	}
 	return fmt.Sprintf("org(%d)", int(o))
 }
 
-// ParseOrg converts a name to an Org.
+// OrgNames lists the canonical organization names ParseOrg accepts.
+func OrgNames() []string {
+	return []string{"base", "mirror", "raid10", "raid5", "raid4", "pstripe", "raid0", "raid3", "plog"}
+}
+
+// ParseOrg converts a name to an Org. Matching is case-insensitive and
+// accepts common aliases (raid1, raid1+0, parity-striping, ...).
 func ParseOrg(s string) (Org, error) {
-	switch s {
-	case "base":
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "base", "jbod":
 		return OrgBase, nil
-	case "mirror":
+	case "mirror", "mirrored", "raid1":
 		return OrgMirror, nil
+	case "raid10", "raid1+0", "raid1/0", "stripedmirror", "striped-mirror":
+		return OrgRAID10, nil
 	case "raid5":
 		return OrgRAID5, nil
 	case "raid4":
@@ -80,7 +99,7 @@ func ParseOrg(s string) (Org, error) {
 	case "plog", "paritylog", "parity-logging":
 		return OrgParityLog, nil
 	}
-	return 0, fmt.Errorf("array: unknown organization %q", s)
+	return 0, fmt.Errorf("array: unknown organization %q (valid: %s)", s, strings.Join(OrgNames(), ", "))
 }
 
 // SyncPolicy selects how a parity update is synchronized with its data
@@ -119,21 +138,27 @@ func (p SyncPolicy) String() string {
 	return fmt.Sprintf("sync(%d)", int(p))
 }
 
-// ParseSyncPolicy converts a name to a SyncPolicy.
+// SyncPolicyNames lists the canonical policy names ParseSyncPolicy
+// accepts.
+func SyncPolicyNames() []string { return []string{"SI", "RF", "RF/PR", "DF", "DF/PR"} }
+
+// ParseSyncPolicy converts a name to a SyncPolicy. Matching is
+// case-insensitive and tolerates the slashed, dashed, and plain spellings
+// of the priority variants (rf/pr, rf-pr, rfpr).
 func ParseSyncPolicy(s string) (SyncPolicy, error) {
-	switch s {
-	case "SI", "si":
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "si":
 		return SI, nil
-	case "RF", "rf":
+	case "rf":
 		return RF, nil
-	case "RF/PR", "rfpr", "rf/pr":
+	case "rfpr", "rf/pr", "rf-pr":
 		return RFPR, nil
-	case "DF", "df":
+	case "df":
 		return DF, nil
-	case "DF/PR", "dfpr", "df/pr":
+	case "dfpr", "df/pr", "df-pr":
 		return DFPR, nil
 	}
-	return 0, fmt.Errorf("array: unknown sync policy %q", s)
+	return 0, fmt.Errorf("array: unknown sync policy %q (valid: %s)", s, strings.Join(SyncPolicyNames(), ", "))
 }
 
 func (p SyncPolicy) priority() bool  { return p == RFPR || p == DFPR }
@@ -146,7 +171,7 @@ type Config struct {
 	Spec geom.Spec
 	Seek geom.SeekModel
 
-	StripingUnit     int              // RAID5/RAID4, in blocks (default 1)
+	StripingUnit     int              // RAID5/RAID4/RAID10, in blocks (default 1)
 	Placement        layout.Placement // parity striping placement
 	ParityStripeUnit int64            // fine-grained parity striping; 0 = classic
 	Sync             SyncPolicy       // parity/data synchronization policy
@@ -234,6 +259,33 @@ type Request struct {
 	OnComplete func()
 }
 
+// StageBreakdown attributes the array's simulated disk-side milliseconds
+// to pipeline stages, so a figure can explain where the time goes. The
+// sums cover every disk access the array issued (foreground, destage,
+// parity, rebuild); they are busy-time attribution, not per-request
+// response decomposition.
+type StageBreakdown struct {
+	QueueMS        float64 // waiting in disk queues for the mechanism
+	SeekRotateMS   float64 // arm seeks + rotational positioning (incl. RMW realignment)
+	TransferMS     float64 // media passes over the data
+	ParitySyncMS   float64 // full rotations held waiting for parity inputs (sync policy cost)
+	DestageStallMS float64 // foreground requests blocked making cache room
+}
+
+// Add accumulates o into b.
+func (b *StageBreakdown) Add(o *StageBreakdown) {
+	b.QueueMS += o.QueueMS
+	b.SeekRotateMS += o.SeekRotateMS
+	b.TransferMS += o.TransferMS
+	b.ParitySyncMS += o.ParitySyncMS
+	b.DestageStallMS += o.DestageStallMS
+}
+
+// Total returns the attributed milliseconds across all stages.
+func (b *StageBreakdown) Total() float64 {
+	return b.QueueMS + b.SeekRotateMS + b.TransferMS + b.ParitySyncMS + b.DestageStallMS
+}
+
 // Results aggregates what an array simulation measured.
 type Results struct {
 	Org       Org
@@ -259,6 +311,9 @@ type Results struct {
 	HeldRotations  int64
 	Cache          cache.Stats
 	ParityAccesses int64 // disk accesses that targeted parity blocks
+
+	// Stages attributes disk-side time to pipeline stages.
+	Stages StageBreakdown
 }
 
 // ReadHitRatio returns read hits / read requests.
@@ -292,47 +347,18 @@ type Controller interface {
 	Results() *Results
 }
 
-// New builds the controller the config describes.
+// New builds the controller the config describes: the organization's
+// redundancy scheme behind either the generic non-cached controller or
+// the NV-cache front-end.
 func New(eng *sim.Engine, cfg Config) (Controller, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
 	bpd := cfg.Spec.BlocksPerDisk()
-	var (
-		ctrl Controller
-		c    *common
-		err  error
-	)
+
+	// The RAID3 and parity-logging comparators predate the scheme
+	// pipeline and stay monolithic: non-cached, no degraded-mode model.
 	switch cfg.Org {
-	case OrgBase:
-		lay := layout.NewBase(cfg.N, bpd)
-		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
-			return nil, err
-		}
-		c.faultPlain()
-		if cfg.Cached {
-			if ctrl, err = newCachedPlain(c, lay, nil); err != nil {
-				return nil, err
-			}
-		} else {
-			ctrl = &baseCtrl{common: c, lay: lay, org: OrgBase}
-		}
-	case OrgRAID0:
-		lay := layout.NewRAID0(cfg.N, bpd, cfg.StripingUnit)
-		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
-			return nil, err
-		}
-		c.faultPlain()
-		if cfg.Cached {
-			cp, err := newCachedPlain(c, lay, nil)
-			if err != nil {
-				return nil, err
-			}
-			cp.org = OrgRAID0
-			ctrl = cp
-		} else {
-			ctrl = &baseCtrl{common: c, lay: lay, org: OrgRAID0}
-		}
 	case OrgRAID3:
 		if cfg.Cached {
 			return nil, fmt.Errorf("array: the RAID3 comparator is modeled non-cached only")
@@ -341,10 +367,11 @@ func New(eng *sim.Engine, cfg Config) (Controller, error) {
 			return nil, fmt.Errorf("array: the RAID3 comparator has no degraded-mode model; fault injection is unsupported")
 		}
 		cfg.SyncSpindles = true // RAID3 requires synchronized spindles
-		if c, err = newCommon(eng, cfg, cfg.N+1); err != nil {
+		c, err := newCommon(eng, cfg, cfg.N+1)
+		if err != nil {
 			return nil, err
 		}
-		ctrl = &raid3Ctrl{common: c, n: cfg.N, bpd: bpd}
+		return &raid3Ctrl{common: c, n: cfg.N, bpd: bpd}, nil
 	case OrgParityLog:
 		if cfg.Cached {
 			return nil, fmt.Errorf("array: parity logging is modeled non-cached only (its log plays the cache's role)")
@@ -352,63 +379,66 @@ func New(eng *sim.Engine, cfg Config) (Controller, error) {
 		if cfg.Fault.Enabled() || cfg.Spares > 0 {
 			return nil, fmt.Errorf("array: the parity-logging comparator has no degraded-mode model; fault injection is unsupported")
 		}
-		if c, err = newCommon(eng, cfg, cfg.N+1); err != nil {
+		c, err := newCommon(eng, cfg, cfg.N+1)
+		if err != nil {
 			return nil, err
 		}
-		ctrl = newParityLog(c, cfg)
+		return newParityLog(c, cfg), nil
+	}
+
+	// Scheme-based organizations: layout → shared hardware → scheme,
+	// then wrap the scheme in a controller.
+	var lay layout.DataLayout
+	switch cfg.Org {
+	case OrgBase:
+		lay = layout.NewBase(cfg.N, bpd)
+	case OrgRAID0:
+		lay = layout.NewRAID0(cfg.N, bpd, cfg.StripingUnit)
 	case OrgMirror:
-		lay := layout.NewMirror(cfg.N, bpd)
-		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
-			return nil, err
-		}
-		c.faultMirror()
-		if cfg.Cached {
-			if ctrl, err = newCachedPlain(c, lay, lay); err != nil {
-				return nil, err
-			}
-		} else {
-			ctrl = &mirrorCtrl{common: c, lay: lay}
-		}
+		lay = layout.NewMirror(cfg.N, bpd)
+	case OrgRAID10:
+		lay = layout.NewRAID10(cfg.N, bpd, cfg.StripingUnit)
 	case OrgRAID5:
-		lay := layout.NewRAID5(cfg.N, bpd, cfg.StripingUnit)
-		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
-			return nil, err
-		}
-		c.faultParity(lay)
-		if cfg.Cached {
-			if ctrl, err = newCachedParity(c, lay); err != nil {
-				return nil, err
-			}
-		} else {
-			ctrl = &parityCtrl{common: c, lay: lay}
-		}
+		lay = layout.NewRAID5(cfg.N, bpd, cfg.StripingUnit)
 	case OrgParityStriping:
-		lay := layout.NewParityStriping(cfg.N, bpd, cfg.Placement, cfg.ParityStripeUnit)
-		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
-			return nil, err
-		}
-		c.faultParity(lay)
-		if cfg.Cached {
-			if ctrl, err = newCachedParity(c, lay); err != nil {
-				return nil, err
-			}
-		} else {
-			ctrl = &parityCtrl{common: c, lay: lay}
-		}
+		lay = layout.NewParityStriping(cfg.N, bpd, cfg.Placement, cfg.ParityStripeUnit)
 	case OrgRAID4:
 		if !cfg.Cached {
 			return nil, fmt.Errorf("array: RAID4 is only studied with parity caching; set Cached")
 		}
-		lay := layout.NewRAID4(cfg.N, bpd, cfg.StripingUnit)
-		if c, err = newCommon(eng, cfg, lay.Disks()); err != nil {
-			return nil, err
-		}
-		c.faultParity(lay)
-		if ctrl, err = newCachedRAID4(c, lay); err != nil {
-			return nil, err
-		}
+		lay = layout.NewRAID4(cfg.N, bpd, cfg.StripingUnit)
 	default:
 		return nil, fmt.Errorf("array: unknown organization %v", cfg.Org)
+	}
+	c, err := newCommon(eng, cfg, lay.Disks())
+	if err != nil {
+		return nil, err
+	}
+	var s scheme
+	switch cfg.Org {
+	case OrgBase, OrgRAID0:
+		s = &plainScheme{c: c, lay: lay, o: cfg.Org}
+	case OrgMirror, OrgRAID10:
+		s = &mirrorScheme{c: c, lay: lay.(layout.MirrorLayout), o: cfg.Org}
+	case OrgRAID5, OrgParityStriping:
+		s = &parityScheme{c: c, lay: lay.(layout.ParityLayout), o: cfg.Org}
+	case OrgRAID4:
+		s = &raid4Scheme{parityScheme: parityScheme{c: c, lay: lay.(layout.ParityLayout), o: OrgRAID4}}
+	}
+	c.sch = s
+
+	var ctrl Controller
+	if cfg.Cached {
+		cc, err := newCached(c, s)
+		if err != nil {
+			return nil, err
+		}
+		if r4, ok := s.(*raid4Scheme); ok {
+			r4.cc = cc // the parity spool lives in the front-end's cache
+		}
+		ctrl = cc
+	} else {
+		ctrl = &schemeCtrl{common: c, s: s}
 	}
 	if cfg.Fault.Enabled() {
 		inj, err := fault.NewInjector(eng, cfg.Fault, len(c.disks))
@@ -428,6 +458,7 @@ type common struct {
 	disks []*disk.Disk
 	ch    *bus.Channel
 	buf   *bus.BufferPool
+	sch   scheme // nil for the legacy RAID3/parity-log monoliths
 
 	requests               int64
 	inflight               int64
@@ -439,6 +470,11 @@ type common struct {
 	readHits, readMisses   int64
 	writeHits, writeMisses int64
 	parityAccesses         int64
+
+	// stages holds the controller-side stage attribution (destage
+	// stalls); the disk-side stages are gathered from disk.Stats at
+	// results time.
+	stages StageBreakdown
 
 	fs faultState
 }
@@ -523,8 +559,10 @@ func (c *common) baseResults(org Org) *Results {
 		NormalResp:     c.normResp,
 		DegradedResp:   c.degResp,
 		Fault:          c.faultResults(),
+		Stages:         c.stages,
 	}
 	now := c.eng.Now()
+	rot := c.cfg.Spec.RotationTime()
 	var distSum, seeks int64
 	for _, d := range c.disks {
 		r.DiskAccesses = append(r.DiskAccesses, d.S.Accesses)
@@ -532,6 +570,10 @@ func (c *common) baseResults(org Org) *Results {
 		r.HeldRotations += d.S.HeldRotations
 		distSum += d.S.SeekDistSum
 		seeks += d.S.SeekCount
+		r.Stages.QueueMS += d.S.QueueWait.Mean() * float64(d.S.QueueWait.N())
+		r.Stages.SeekRotateMS += sim.Millis(d.S.SeekTime + d.S.RotateTime)
+		r.Stages.TransferMS += sim.Millis(d.S.TransferTime)
+		r.Stages.ParitySyncMS += sim.Millis(d.S.HeldRotations * rot)
 	}
 	if seeks > 0 {
 		r.SeekDistMean = float64(distSum) / float64(seeks)

@@ -1,9 +1,11 @@
 package array
 
 import (
+	"strings"
 	"testing"
 
 	"raidsim/internal/geom"
+	"raidsim/internal/layout"
 	"raidsim/internal/sim"
 	"raidsim/internal/trace"
 )
@@ -85,7 +87,7 @@ func TestMirrorWritesBothCopies(t *testing.T) {
 		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i * 7), Blocks: 1})
 	}
 	drain(t, eng, ctrl)
-	m := ctrl.(*mirrorCtrl)
+	m := ctrl.(*schemeCtrl)
 	// All writes hit logical disk 0 => physical disks 0 and 1.
 	if m.disks[0].S.Writes != 10 || m.disks[1].S.Writes != 10 {
 		t.Fatalf("copies saw %d/%d writes, want 10/10",
@@ -103,7 +105,7 @@ func TestMirrorReadsSplitAcrossCopies(t *testing.T) {
 		ctrl.Submit(Request{Op: trace.Read, LBA: (int64(i) * 3797) % bpd, Blocks: 1})
 	}
 	drain(t, eng, ctrl)
-	m := ctrl.(*mirrorCtrl)
+	m := ctrl.(*schemeCtrl)
 	r0, r1 := m.disks[0].S.Reads, m.disks[1].S.Reads
 	if r0+r1 != 60 {
 		t.Fatalf("reads %d+%d, want 60", r0, r1)
@@ -113,12 +115,100 @@ func TestMirrorReadsSplitAcrossCopies(t *testing.T) {
 	}
 }
 
+func TestRAID10WritesBothPairMembers(t *testing.T) {
+	cfg := testConfig(OrgRAID10, false)
+	cfg.StripingUnit = 2
+	eng, ctrl := build(t, cfg)
+	// N=4, SU=2: blocks 0..7 cover every pair once.
+	for i := 0; i < 8; i++ {
+		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i), Blocks: 1})
+	}
+	drain(t, eng, ctrl)
+	m := ctrl.(*schemeCtrl)
+	if len(m.disks) != 8 {
+		t.Fatalf("RAID10 with N=4 has %d drives, want 8", len(m.disks))
+	}
+	var total int64
+	for d := 0; d < len(m.disks); d += 2 {
+		w0, w1 := m.disks[d].S.Writes, m.disks[d+1].S.Writes
+		if w0 != w1 {
+			t.Fatalf("pair %d saw %d/%d writes, want equal", d/2, w0, w1)
+		}
+		if w0 == 0 {
+			t.Fatalf("pair %d idle; striping not spreading writes", d/2)
+		}
+		total += w0 + w1
+	}
+	if total != 16 {
+		t.Fatalf("total writes %d, want 16 (8 blocks x 2 copies)", total)
+	}
+}
+
+func TestRAID10ReadsUseOneCopy(t *testing.T) {
+	cfg := testConfig(OrgRAID10, false)
+	eng, ctrl := build(t, cfg)
+	bpd := cfg.Spec.BlocksPerDisk()
+	for i := 0; i < 40; i++ {
+		ctrl.Submit(Request{Op: trace.Read, LBA: (int64(i) * 2531) % bpd, Blocks: 1})
+	}
+	drain(t, eng, ctrl)
+	m := ctrl.(*schemeCtrl)
+	var reads int64
+	for _, d := range m.disks {
+		reads += d.S.Reads
+	}
+	if reads != 40 {
+		t.Fatalf("reads hit %d arms, want exactly 40 (one copy each)", reads)
+	}
+}
+
+func TestParseOrgAliases(t *testing.T) {
+	cases := map[string]Org{
+		"base": OrgBase, "JBOD": OrgBase,
+		"Mirror": OrgMirror, "raid1": OrgMirror,
+		"raid10": OrgRAID10, "RAID1+0": OrgRAID10, "raid1/0": OrgRAID10,
+		"RAID5": OrgRAID5, "raid4": OrgRAID4,
+		"pstripe": OrgParityStriping, "parity-striping": OrgParityStriping,
+		" plog ": OrgParityLog, "paritylog": OrgParityLog,
+	}
+	for in, want := range cases {
+		got, err := ParseOrg(in)
+		if err != nil || got != want {
+			t.Errorf("ParseOrg(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseOrg("raid6"); err == nil {
+		t.Fatal("unknown org accepted")
+	} else if !strings.Contains(err.Error(), "raid10") {
+		t.Fatalf("error %q does not list valid names", err)
+	}
+}
+
+func TestParseSyncPolicyAliases(t *testing.T) {
+	cases := map[string]SyncPolicy{
+		"si": SI, "RF": RF,
+		"rfpr": RFPR, "RF/PR": RFPR, "rf-pr": RFPR,
+		"df": DF, "DF/PR": DFPR, "dfpr": DFPR,
+	}
+	for in, want := range cases {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	} else if !strings.Contains(err.Error(), "DF/PR") {
+		t.Fatalf("error %q does not list valid names", err)
+	}
+}
+
 func TestParityWriteTouchesTwoDisks(t *testing.T) {
 	cfg := testConfig(OrgRAID5, false)
 	eng, ctrl := build(t, cfg)
 	ctrl.Submit(Request{Op: trace.Write, LBA: 0, Blocks: 1})
 	drain(t, eng, ctrl)
-	p := ctrl.(*parityCtrl)
+	p := ctrl.(*schemeCtrl)
 	var rmws int64
 	for _, d := range p.disks {
 		rmws += d.S.RMWs
@@ -138,7 +228,7 @@ func TestFullStripeWriteSkipsRMW(t *testing.T) {
 	// N=4: logical blocks 0..3 are one full stripe.
 	ctrl.Submit(Request{Op: trace.Write, LBA: 0, Blocks: 4})
 	drain(t, eng, ctrl)
-	p := ctrl.(*parityCtrl)
+	p := ctrl.(*schemeCtrl)
 	var rmws, writes int64
 	for _, d := range p.disks {
 		rmws += d.S.RMWs
@@ -160,15 +250,16 @@ func TestSyncPoliciesHeldRotations(t *testing.T) {
 		cfg := testConfig(OrgRAID5, false)
 		cfg.Sync = pol
 		eng, ctrl := build(t, cfg)
-		p := ctrl.(*parityCtrl)
+		p := ctrl.(*schemeCtrl)
+		lay := p.s.(*parityScheme).lay
 		// Put load on the data disk so its old-data read is slow: several
 		// reads queued ahead of the write's RMW.
-		dataLoc := p.lay.Map(0)
+		dataLoc := lay.Map(0)
 		for i := 0; i < 6; i++ {
 			lba := int64(0)
 			// Find lbas mapping to the same data disk for queue pressure.
 			for l := int64(0); l < 500; l++ {
-				if p.lay.Map(l).Disk == dataLoc.Disk {
+				if lay.Map(l).Disk == dataLoc.Disk {
 					lba = l
 					if i == int(l%7) {
 						break
@@ -242,7 +333,7 @@ func TestDestageCleansCache(t *testing.T) {
 	cfg := testConfig(OrgRAID5, true)
 	cfg.DestagePeriod = 100 * sim.Millisecond
 	eng, ctrl := build(t, cfg)
-	cp := ctrl.(*cachedParity)
+	cp := ctrl.(*cachedCtrl)
 	for i := 0; i < 20; i++ {
 		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i * 11), Blocks: 1})
 	}
@@ -263,7 +354,7 @@ func TestPureLRUKeepsDirtyUntilEviction(t *testing.T) {
 	cfg := testConfig(OrgBase, true)
 	cfg.PureLRUWriteback = true
 	eng, ctrl := build(t, cfg)
-	cp := ctrl.(*cachedPlain)
+	cp := ctrl.(*cachedCtrl)
 	for i := 0; i < 20; i++ {
 		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i), Blocks: 1})
 	}
@@ -278,7 +369,7 @@ func TestEvictionWritesBackDirtyVictim(t *testing.T) {
 	cfg.CacheBlocks = 8
 	cfg.PureLRUWriteback = true // keep victims dirty
 	eng, ctrl := build(t, cfg)
-	cp := ctrl.(*cachedPlain)
+	cp := ctrl.(*cachedCtrl)
 	bpd := cfg.Spec.BlocksPerDisk()
 	for i := 0; i < 8; i++ {
 		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i), Blocks: 1})
@@ -306,13 +397,13 @@ func TestRAID4ParityGoesToParityDisk(t *testing.T) {
 	cfg := testConfig(OrgRAID4, true)
 	cfg.DestagePeriod = 100 * sim.Millisecond
 	eng, ctrl := build(t, cfg)
-	r4 := ctrl.(*cachedRAID4)
+	r4 := ctrl.(*cachedCtrl)
 	for i := 0; i < 30; i++ {
 		ctrl.Submit(Request{Op: trace.Write, LBA: int64(i * 13), Blocks: 1})
 	}
 	eng.RunFor(20 * sim.Second)
 	drain(t, eng, ctrl)
-	pd := r4.play.ParityDisk()
+	pd := r4.s.(*raid4Scheme).lay.(*layout.RAID4).ParityDisk()
 	if r4.disks[pd].S.Accesses == 0 {
 		t.Fatal("parity disk idle after destage")
 	}
@@ -341,7 +432,7 @@ func TestRAID4TinyCacheStallsButProgresses(t *testing.T) {
 	cfg.CacheBlocks = 16
 	cfg.DestagePeriod = 50 * sim.Millisecond
 	eng, ctrl := build(t, cfg)
-	r4 := ctrl.(*cachedRAID4)
+	r4 := ctrl.(*cachedCtrl)
 	for i := 0; i < 200; i++ {
 		i := i
 		eng.At(sim.Time(i)*2*sim.Millisecond, func() {
@@ -350,9 +441,9 @@ func TestRAID4TinyCacheStallsButProgresses(t *testing.T) {
 	}
 	drain(t, eng, ctrl)
 	eng.RunFor(30 * sim.Second) // let the spool fully drain
-	if r4.c.ParityPendingCount() != 0 || len(r4.stalled) != 0 {
+	if r4.c.ParityPendingCount() != 0 || len(r4.s.(*raid4Scheme).stalled) != 0 {
 		t.Fatalf("spool wedged: pending=%d stalled=%d",
-			r4.c.ParityPendingCount(), len(r4.stalled))
+			r4.c.ParityPendingCount(), len(r4.s.(*raid4Scheme).stalled))
 	}
 	res := ctrl.Results()
 	if res.Requests != 200 || res.Resp.N() != 200 {
@@ -388,7 +479,7 @@ func TestDestageFullStripeSkipsRMW(t *testing.T) {
 	cfg := testConfig(OrgRAID5, true)
 	cfg.DestagePeriod = 100 * sim.Millisecond
 	eng, ctrl := build(t, cfg)
-	cp := ctrl.(*cachedParity)
+	cp := ctrl.(*cachedCtrl)
 	// N=4, SU=1: logical blocks 0..3 are one full stripe.
 	ctrl.Submit(Request{Op: trace.Write, LBA: 0, Blocks: 4})
 	eng.RunFor(3 * sim.Second)
@@ -413,14 +504,14 @@ func TestDestageUsesShadowToSkipDataRMW(t *testing.T) {
 	cfg := testConfig(OrgRAID5, true)
 	cfg.DestagePeriod = 100 * sim.Millisecond
 	eng, ctrl := build(t, cfg)
-	cp := ctrl.(*cachedParity)
+	cp := ctrl.(*cachedCtrl)
 	ctrl.Submit(Request{Op: trace.Read, LBA: 7, Blocks: 1}) // fetch: old image known
 	drain(t, eng, ctrl)
 	ctrl.Submit(Request{Op: trace.Write, LBA: 7, Blocks: 1})
 	eng.RunFor(3 * sim.Second)
 	drain(t, eng, ctrl)
-	dataDisk := cp.play.Map(7).Disk
-	parityDisk := cp.play.Parity(7).Disk
+	dataDisk := cp.s.(*parityScheme).lay.Map(7).Disk
+	parityDisk := cp.s.(*parityScheme).lay.Parity(7).Disk
 	if got := cp.disks[dataDisk].S.RMWs; got != 0 {
 		t.Fatalf("data disk did %d RMWs despite the cached old image", got)
 	}
@@ -438,11 +529,11 @@ func TestWriteMissDestageNeedsDataRMW(t *testing.T) {
 	cfg := testConfig(OrgRAID5, true)
 	cfg.DestagePeriod = 100 * sim.Millisecond
 	eng, ctrl := build(t, cfg)
-	cp := ctrl.(*cachedParity)
+	cp := ctrl.(*cachedCtrl)
 	ctrl.Submit(Request{Op: trace.Write, LBA: 11, Blocks: 1}) // miss: no old image
 	eng.RunFor(3 * sim.Second)
 	drain(t, eng, ctrl)
-	dataDisk := cp.play.Map(11).Disk
+	dataDisk := cp.s.(*parityScheme).lay.Map(11).Disk
 	if got := cp.disks[dataDisk].S.RMWs; got != 1 {
 		t.Fatalf("data disk did %d RMWs, want 1 (old image unknown)", got)
 	}

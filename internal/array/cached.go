@@ -3,19 +3,18 @@ package array
 import (
 	"raidsim/internal/cache"
 	"raidsim/internal/disk"
-	"raidsim/internal/layout"
 	"raidsim/internal/sim"
 	"raidsim/internal/trace"
 )
 
-// cachedCtrl holds what every cached organization shares: the NV cache,
-// the periodic destage ticker, room-making (eviction) and the read/write
-// front-end. The organization-specific part is writeBack — how a set of
-// dirty blocks reaches the disks — and how read-miss fetch runs are laid
-// out, both supplied by the embedding type.
+// cachedCtrl is the NV-cache front-end, written once and working for
+// every scheme: hit/miss accounting, the periodic destage ticker,
+// room-making (eviction) and the read/write request paths. Everything
+// organization-specific — how a destage batch reaches the disks, how a
+// read-miss fetch is laid out — is delegated to the scheme underneath.
 type cachedCtrl struct {
 	*common
-	lay    layout.DataLayout
+	s      scheme
 	c      *cache.Cache
 	ccfg   cache.Config
 	ticker *sim.Ticker
@@ -24,14 +23,49 @@ type cachedCtrl struct {
 	// issue time and skip their CompleteDestage bookkeeping when stale —
 	// the entries they would complete died with the old cache.
 	epoch int
+}
 
-	// writeBackMarked persists cached dirty blocks already marked as
-	// destaging and calls onDone when they are clean on disk. spread
-	// distributes the issues over a window to limit interference.
-	// Supplied by the embedding organization.
-	writeBackMarked func(lbas []int64, pri disk.Priority, spread sim.Time, onDone func())
-	// fetchRuns lays out a read-miss fetch for the given blocks.
-	fetchRuns func(lbas []int64) []run
+// newCached wraps the scheme in the cache front-end. Parity schemes get
+// old-data shadows (KeepOldData) so destage can usually skip re-reading
+// old data.
+func newCached(c *common, s scheme) (*cachedCtrl, error) {
+	ccfg := cache.Config{Blocks: c.cfg.CacheBlocks, KeepOldData: s.keepOldData()}
+	nvc, err := cache.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	cc := &cachedCtrl{common: c, s: s, c: nvc, ccfg: ccfg}
+	cc.initDestage()
+	return cc, nil
+}
+
+// hasOld reports whether the pre-write image of a block is in the cache.
+func (cc *cachedCtrl) hasOld(l int64) bool {
+	e := cc.c.Lookup(l)
+	return e != nil && e.HasOld
+}
+
+// writeBackMarked persists cached dirty blocks already marked as
+// destaging and calls onDone when they are clean on disk: one scheme
+// write, with the epoch-guarded destage-completion bookkeeping wrapped
+// around the scheme's completion. spread distributes the issues over a
+// window to limit interference.
+func (cc *cachedCtrl) writeBackMarked(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
+	ep := cc.epoch
+	cc.s.write(writeOp{
+		lbas:   lbas,
+		pri:    pri,
+		spread: spread,
+		hasOld: cc.hasOld,
+		onDone: func() {
+			if cc.epoch == ep {
+				for _, l := range lbas {
+					cc.c.CompleteDestage(l)
+				}
+			}
+			onDone()
+		},
+	})
 }
 
 // writeBack marks the blocks as destaging and persists them.
@@ -66,10 +100,11 @@ func (cc *cachedCtrl) cacheFailed() {
 }
 
 // DataBlocks implements Controller.
-func (cc *cachedCtrl) DataBlocks() int64 { return cc.lay.DataBlocks() }
+func (cc *cachedCtrl) DataBlocks() int64 { return cc.s.dataBlocks() }
 
-func (cc *cachedCtrl) cachedResults(org Org) *Results {
-	r := cc.baseResults(org)
+// Results implements Controller.
+func (cc *cachedCtrl) Results() *Results {
+	r := cc.baseResults(cc.s.org())
 	r.Cache = cc.c.S
 	return r
 }
@@ -113,22 +148,21 @@ func (cc *cachedCtrl) destageTick() {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // makeRoom frees cache slots until at least want are available, then runs
 // fn. Clean victims are dropped; a dirty victim must first be written to
-// disk — the cost the destage process exists to make rare.
+// disk — the cost the destage process exists to make rare. Time spent
+// here is the cache-destage stall of the latency breakdown.
 func (cc *cachedCtrl) makeRoom(want int, fn func()) {
+	t0 := cc.eng.Now()
+	cc.makeRoomFrom(want, t0, fn)
+}
+
+func (cc *cachedCtrl) makeRoomFrom(want int, t0 sim.Time, fn func()) {
 	for cc.c.FreeSlots() < want {
 		v := cc.c.Victim()
 		if v == nil {
 			// Everything is mid-destage; retry shortly.
-			cc.eng.After(sim.Millisecond, func() { cc.makeRoom(want, fn) })
+			cc.eng.After(sim.Millisecond, func() { cc.makeRoomFrom(want, t0, fn) })
 			return
 		}
 		if v.Dirty {
@@ -138,18 +172,19 @@ func (cc *cachedCtrl) makeRoom(want int, fn func()) {
 				if e := cc.c.Lookup(lba); e != nil && !e.Dirty && !e.Destaging {
 					cc.c.Drop(lba)
 				}
-				cc.makeRoom(want, fn)
+				cc.makeRoomFrom(want, t0, fn)
 			})
 			return
 		}
 		cc.c.Drop(v.LBA)
 	}
+	cc.stages.DestageStallMS += sim.Millis(cc.eng.Now() - t0)
 	fn()
 }
 
 // Submit implements Controller.
 func (cc *cachedCtrl) Submit(r Request) {
-	cc.checkRequest(r, cc.lay.DataBlocks())
+	cc.checkRequest(r, cc.s.dataBlocks())
 	start := cc.begin()
 	if r.Op == trace.Read {
 		cc.read(r, start)
@@ -193,7 +228,7 @@ func (cc *cachedCtrl) read(r Request, start sim.Time) {
 			cc.chanXfer(r.Blocks, func() { cc.finish(r, start) })
 			return
 		}
-		runs := cc.fetchRuns(fetch)
+		runs := cc.s.fetchRuns(fetch)
 		cc.readRuns(runs, r.Blocks, func() { cc.finish(r, start) })
 	})
 }
@@ -240,189 +275,5 @@ func (cc *cachedCtrl) insertDirty(lba int64, n, i int, done func()) {
 			cc.c.Insert(l, true)
 		}
 		cc.insertDirty(lba, n, i+1, done)
-	})
-}
-
-// newCachedPlain builds the cached Base (mir == nil) or Mirror
-// organization: no parity, so write-back is plain data writes (both
-// copies for Mirror) and read-miss fetches use the nearest copy.
-func newCachedPlain(c *common, lay layout.DataLayout, mir layout.MirrorLayout) (*cachedPlain, error) {
-	ccfg := cache.Config{Blocks: c.cfg.CacheBlocks, KeepOldData: false}
-	nvc, err := cache.New(ccfg)
-	if err != nil {
-		return nil, err
-	}
-	cp := &cachedPlain{
-		cachedCtrl: &cachedCtrl{
-			common: c,
-			lay:    lay,
-			c:      nvc,
-			ccfg:   ccfg,
-		},
-		mir: mir,
-	}
-	cp.writeBackMarked = cp.doWriteBack
-	cp.fetchRuns = cp.doFetchRuns
-	cp.initDestage()
-	return cp, nil
-}
-
-type cachedPlain struct {
-	*cachedCtrl
-	mir layout.MirrorLayout
-	org Org
-}
-
-// Results implements Controller.
-func (cp *cachedPlain) Results() *Results {
-	org := cp.org
-	if org == 0 && cp.mir != nil {
-		org = OrgMirror
-	}
-	return cp.cachedResults(org)
-}
-
-func (cp *cachedPlain) doFetchRuns(lbas []int64) []run {
-	if cp.mir == nil {
-		return dataRuns(cp.lay, lbas)
-	}
-	// Shortest-seek routing per run, as in the non-cached mirror; a dead
-	// copy never wins.
-	runs := dataRuns(cp.lay, lbas)
-	for i := range runs {
-		rn := &runs[i]
-		if pickMirrorCopy(cp.common, rn.disk, rn.start) {
-			rn.disk++
-		}
-	}
-	return runs
-}
-
-func (cp *cachedPlain) doWriteBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
-	runs := dataRuns(cp.lay, lbas)
-	if cp.mir != nil {
-		runs = append(runs, altRuns(cp.mir, lbas)...)
-	}
-	if cp.degradedNow() {
-		var dropped int
-		runs, dropped = cp.filterWriteRuns(runs)
-		if dropped > 0 && cp.mir != nil {
-			for _, l := range lbas {
-				if cp.writeDown(cp.lay.Map(l).Disk) && cp.writeDown(cp.mir.Alt(l).Disk) {
-					cp.fs.lostWriteBlocks++
-				}
-			}
-		} else if cp.mir == nil {
-			cp.fs.lostWriteBlocks += int64(dropped)
-		}
-	}
-	ep := cp.epoch
-	var stagger sim.Time
-	if len(runs) > 1 && spread > 0 {
-		stagger = spread / sim.Time(len(runs))
-	}
-	cp.buf.Acquire(len(runs), func() {
-		done := newLatch(len(runs), func() {
-			cp.buf.Release(len(runs))
-			if cp.epoch == ep {
-				for _, l := range lbas {
-					cp.c.CompleteDestage(l)
-				}
-			}
-			onDone()
-		})
-		for i, rn := range runs {
-			req := &disk.Request{
-				StartBlock: rn.start, Blocks: rn.blocks, Write: true,
-				Priority: pri, OnDone: done.done,
-			}
-			d := cp.disks[rn.disk]
-			if stagger > 0 && i > 0 {
-				cp.eng.After(stagger*sim.Time(i), func() { d.Submit(req) })
-			} else {
-				d.Submit(req)
-			}
-		}
-	})
-}
-
-// newCachedParity builds the cached RAID5 or Parity Striping controller:
-// the cache keeps old-data shadows so destage can usually skip re-reading
-// old data, but the old parity must still be read (an extra rotation at
-// the parity disk) for partial-stripe write-back.
-func newCachedParity(c *common, lay layout.ParityLayout) (*cachedParity, error) {
-	ccfg := cache.Config{Blocks: c.cfg.CacheBlocks, KeepOldData: true}
-	nvc, err := cache.New(ccfg)
-	if err != nil {
-		return nil, err
-	}
-	cp := &cachedParity{
-		cachedCtrl: &cachedCtrl{
-			common: c,
-			lay:    lay,
-			c:      nvc,
-			ccfg:   ccfg,
-		},
-		play: lay,
-	}
-	cp.writeBackMarked = cp.doWriteBack
-	cp.fetchRuns = func(lbas []int64) []run { return dataRuns(cp.lay, lbas) }
-	cp.initDestage()
-	return cp, nil
-}
-
-type cachedParity struct {
-	*cachedCtrl
-	play layout.ParityLayout
-}
-
-// Results implements Controller.
-func (cp *cachedParity) Results() *Results {
-	if _, ok := cp.play.(*layout.ParityStriping); ok {
-		return cp.cachedResults(OrgParityStriping)
-	}
-	return cp.cachedResults(OrgRAID5)
-}
-
-func (cp *cachedParity) doWriteBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
-	ep := cp.epoch
-	if cp.degradedNow() {
-		cp.buf.Acquire(len(lbas), func() {
-			cp.degradedUpdate(cp.play, lbas, pri, func() {
-				cp.buf.Release(len(lbas))
-				if cp.epoch == ep {
-					for _, l := range lbas {
-						cp.c.CompleteDestage(l)
-					}
-				}
-				onDone()
-			})
-		})
-		return
-	}
-	plan := planUpdate(cp.play, lbas, func(l int64) bool {
-		e := cp.c.Lookup(l)
-		return e != nil && e.HasOld
-	})
-	n := plan.totalRuns()
-	var stagger sim.Time
-	if len(plan.dataRuns) > 1 && spread > 0 {
-		stagger = spread / sim.Time(len(plan.dataRuns))
-	}
-	cp.buf.Acquire(n, func() {
-		cp.executeUpdate(plan, updateOpts{
-			policy:  cp.cfg.Sync,
-			pri:     pri,
-			stagger: stagger,
-			onDone: func() {
-				cp.buf.Release(n)
-				if cp.epoch == ep {
-					for _, l := range lbas {
-						cp.c.CompleteDestage(l)
-					}
-				}
-				onDone()
-			},
-		})
 	})
 }

@@ -3,16 +3,17 @@ package array
 import (
 	"raidsim/internal/disk"
 	"raidsim/internal/fault"
-	"raidsim/internal/layout"
 	"raidsim/internal/sim"
 	"raidsim/internal/stats"
 )
 
 // faultState is the controller side of fault injection: which slots are
-// dead or rebuilding, the organization-specific degraded-mode hooks, and
-// the accounting the fault report is built from. Every common carries one
-// (with allocated slices) so the hot path can test fs.nfailed without a
-// nil check; fs.inj stays nil when no faults are configured.
+// dead or rebuilding and the accounting the fault report is built from.
+// The organization-specific degraded-mode behavior lives in the scheme
+// (onFail / rebuildSources / readFallback); common dispatches to it.
+// Every common carries a faultState (with allocated slices) so the hot
+// path can test fs.nfailed without a nil check; fs.inj stays nil when no
+// faults are configured.
 type faultState struct {
 	inj        *fault.Injector
 	failed     []bool // slot is not readable (dead, or spare mid-rebuild)
@@ -20,17 +21,6 @@ type faultState struct {
 	nfailed    int
 	spares     int
 
-	// Organization-specific hooks, set by the fault*() installers below.
-	// rebuildSources lists the disks a rebuild of slot d reads from: nil
-	// means reconstruction is impossible (no redundancy, or a needed
-	// source is also dead) and the spare goes into service as-is.
-	rebuildSources func(d int) []int
-	// onFail classifies a fresh failure of slot d (failed[d] is already
-	// set): it counts data-loss events.
-	onFail func(d int)
-	// readFallback serves a read run whose home disk is unreadable from
-	// redundancy; it returns false when the data is unrecoverable.
-	readFallback func(rn run, pri disk.Priority, onDone func()) bool
 	// onCacheFail handles NVRAM cache death (cached controllers only).
 	onCacheFail func()
 
@@ -84,9 +74,9 @@ func (c *common) writeDown(d int) bool { return c.fs.failed[d] && !c.fs.rebuildi
 
 // FailDisk implements fault.Handler: slot d dies now. Queued accesses are
 // dropped by the drive (their callbacks still fire); subsequent reads are
-// served from redundancy via readFallback and writes degrade per
-// organization. With a spare available the slot is swapped immediately
-// and a background rebuild sweep starts. Idempotent.
+// served from redundancy via the scheme's readFallback and writes degrade
+// per the scheme's mapping. With a spare available the slot is swapped
+// immediately and a background rebuild sweep starts. Idempotent.
 func (c *common) FailDisk(d int) {
 	if d < 0 || d >= len(c.disks) || c.fs.failed[d] {
 		return
@@ -97,8 +87,8 @@ func (c *common) FailDisk(d int) {
 	c.fs.nfailed++
 	c.fs.degraded.Open(now)
 	c.disks[d].Fail()
-	if c.fs.onFail != nil {
-		c.fs.onFail(d)
+	if c.sch != nil {
+		c.sch.onFail(d)
 	}
 	if c.fs.spares <= 0 {
 		return
@@ -107,8 +97,8 @@ func (c *common) FailDisk(d int) {
 	c.fs.sparesUsed++
 	c.disks[d].Repair()
 	var srcs []int
-	if c.fs.rebuildSources != nil {
-		srcs = c.fs.rebuildSources(d)
+	if c.sch != nil {
+		srcs = c.sch.rebuildSources(d)
 	}
 	if len(srcs) == 0 {
 		// Nothing to reconstruct from: the spare goes straight into
@@ -153,7 +143,7 @@ func (c *common) sweepRebuild(d int, pos int64, started sim.Time) {
 		c.completeRepair(d)
 		return
 	}
-	srcs := c.fs.rebuildSources(d)
+	srcs := c.sch.rebuildSources(d)
 	if len(srcs) == 0 {
 		// A source died mid-sweep; reconstruction can no longer finish
 		// (that failure counted the data loss). Abandon the sweep and put
@@ -238,108 +228,17 @@ func (c *common) mediaRead(rn run, pri disk.Priority, tries int, onDone func()) 
 
 // fallbackRead recovers a read run from redundancy, or counts it lost.
 func (c *common) fallbackRead(rn run, pri disk.Priority, onDone func()) {
-	if c.fs.readFallback != nil && c.fs.readFallback(rn, pri, onDone) {
+	if c.sch != nil && c.sch.readFallback(rn, pri, onDone) {
 		return
 	}
 	c.fs.lostReadBlocks += int64(rn.blocks)
 	c.eng.After(0, onDone)
 }
 
-// faultPlain installs the hooks for redundancy-free organizations (Base,
-// RAID0): every drive failure is a data-loss event and reads of its
-// blocks are unrecoverable.
-func (c *common) faultPlain() {
-	c.fs.onFail = func(int) { c.fs.dataLossEvents++ }
-}
-
-// faultMirror installs mirrored-pair hooks: reads fail over to the
-// partner copy (primary 2d, secondary 2d+1 — partners differ in the low
-// bit), a dead slot rebuilds by copying the partner, and data is lost
-// only when both copies of a pair are down.
-func (c *common) faultMirror() {
-	c.fs.onFail = func(d int) {
-		if c.fs.failed[d^1] {
-			c.fs.dataLossEvents++
-		}
-	}
-	c.fs.rebuildSources = func(d int) []int {
-		if c.fs.failed[d^1] {
-			return nil
-		}
-		return []int{d ^ 1}
-	}
-	c.fs.readFallback = func(rn run, pri disk.Priority, onDone func()) bool {
-		alt := rn.disk ^ 1
-		if c.fs.failed[alt] {
-			return false
-		}
-		c.fs.failoverReads++
-		c.mediaRead(run{disk: alt, start: rn.start, blocks: rn.blocks}, pri, 0, onDone)
-		return true
-	}
-}
-
-// faultParity installs N+1 parity hooks (RAID5, RAID4, Parity Striping):
-// reads of a dead disk reconstruct from the surviving members plus
-// parity, a rebuild reads every other disk, and a second concurrent
-// failure loses data.
-func (c *common) faultParity(lay layout.ParityLayout) {
-	c.fs.onFail = func(d int) {
-		for i := range c.disks {
-			if i != d && c.fs.failed[i] {
-				c.fs.dataLossEvents++
-				break
-			}
-		}
-	}
-	c.fs.rebuildSources = func(d int) []int {
-		srcs := make([]int, 0, len(c.disks)-1)
-		for i := range c.disks {
-			if i == d {
-				continue
-			}
-			if c.fs.failed[i] {
-				return nil
-			}
-			srcs = append(srcs, i)
-		}
-		return srcs
-	}
-	c.fs.readFallback = func(rn run, pri disk.Priority, onDone func()) bool {
-		// Reconstruct each lost logical block: read its surviving stripe
-		// members and the stripe's parity block, XOR in the controller.
-		// Physical runs with no logical blocks attached (rebuild traffic)
-		// have nothing to map and recover for free.
-		var srcs []layout.Loc
-		for _, l := range rn.lbas {
-			for _, m := range lay.StripeMembers(l) {
-				if m == l {
-					continue
-				}
-				loc := lay.Map(m)
-				if c.fs.failed[loc.Disk] {
-					return false
-				}
-				srcs = append(srcs, loc)
-			}
-			p := lay.Parity(l)
-			if c.fs.failed[p.Disk] {
-				return false
-			}
-			srcs = append(srcs, p)
-		}
-		done := newLatch(len(srcs), onDone)
-		for _, s := range srcs {
-			c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, done.done)
-		}
-		return true
-	}
-}
-
 // filterWriteRuns drops runs whose target slot is gone (dead with no
 // rebuilding spare), returning the survivors and the dropped block count.
-// Used by the non-parity organizations; whether a dropped run means data
-// loss depends on redundancy, so the caller does that accounting.
+// Used by the non-parity schemes; whether a dropped run means data loss
+// depends on redundancy, so the caller does that accounting.
 func (c *common) filterWriteRuns(runs []run) ([]run, int) {
 	if c.fs.nfailed == 0 {
 		return runs, 0
@@ -354,87 +253,6 @@ func (c *common) filterWriteRuns(runs []run) ([]run, int) {
 		out = append(out, rn)
 	}
 	return out, dropped
-}
-
-// degradedUpdate applies a batch of block writes to a parity layout with
-// failures present, block at a time (run merging and policy scheduling
-// don't survive the per-block case analysis).
-func (c *common) degradedUpdate(lay layout.ParityLayout, lbas []int64, pri disk.Priority, onDone func()) {
-	done := newLatch(len(lbas), onDone)
-	for _, l := range lbas {
-		c.degradedWriteBlock(lay, l, pri, done.done)
-	}
-}
-
-// degradedWriteBlock writes one logical block to a parity layout under
-// failures, mirroring the degraded-mode cases internal/recovery models:
-//
-//   - home dead, parity alive: fold the write into parity — read the
-//     surviving stripe members, then overwrite parity with
-//     XOR(new data, survivors).
-//   - parity dead, home alive: plain data write, no parity to maintain.
-//   - both alive (or rebuilding): the usual data-RMW + parity-RMW pair,
-//     disk-first style.
-//   - both dead: the write has nowhere to land.
-func (c *common) degradedWriteBlock(lay layout.ParityLayout, l int64, pri disk.Priority, onDone func()) {
-	home := lay.Map(l)
-	p := lay.Parity(l)
-	homeDown := c.writeDown(home.Disk)
-	parityDown := c.writeDown(p.Disk)
-	switch {
-	case homeDown && parityDown:
-		c.fs.lostWriteBlocks++
-		c.eng.After(0, onDone)
-	case homeDown:
-		var srcs []layout.Loc
-		for _, m := range lay.StripeMembers(l) {
-			if m == l {
-				continue
-			}
-			loc := lay.Map(m)
-			if c.fs.failed[loc.Disk] {
-				// A second data disk is dead too; the stripe cannot hold
-				// this write.
-				c.fs.lostWriteBlocks++
-				c.eng.After(0, onDone)
-				return
-			}
-			srcs = append(srcs, loc)
-		}
-		c.parityAccesses++
-		read := newLatch(len(srcs), func() {
-			c.disks[p.Disk].Submit(&disk.Request{
-				StartBlock: p.Block, Blocks: 1, Write: true,
-				Priority: pri, OnDone: onDone,
-			})
-		})
-		for _, s := range srcs {
-			c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, read.done)
-		}
-	case parityDown:
-		c.disks[home.Disk].Submit(&disk.Request{
-			StartBlock: home.Block, Blocks: 1, Write: true,
-			Priority: pri, OnDone: onDone,
-		})
-	default:
-		readDone := false
-		c.parityAccesses++
-		all := newLatch(2, onDone)
-		dreq := &disk.Request{
-			StartBlock: home.Block, Blocks: 1, Write: true, RMW: true,
-			Priority:   pri,
-			OnReadDone: func() { readDone = true },
-			OnDone:     all.done,
-		}
-		dreq.OnStart = func() {
-			c.disks[p.Disk].Submit(&disk.Request{
-				StartBlock: p.Block, Blocks: 1, Write: true, RMW: true,
-				Priority: pri, Ready: func() bool { return readDone },
-				OnDone: all.done,
-			})
-		}
-		c.disks[home.Disk].Submit(dreq)
-	}
 }
 
 // faultResults snapshots the accounting.

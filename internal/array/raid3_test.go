@@ -76,7 +76,7 @@ func TestRAID0StripesWithoutParity(t *testing.T) {
 	cfg := testConfig(OrgRAID0, false)
 	cfg.StripingUnit = 1
 	eng, ctrl := build(t, cfg)
-	b := ctrl.(*baseCtrl)
+	b := ctrl.(*schemeCtrl)
 	if len(b.disks) != cfg.N {
 		t.Fatalf("RAID0 has %d disks, want %d (no parity drive)", len(b.disks), cfg.N)
 	}

@@ -3,101 +3,52 @@ package array
 import (
 	"raidsim/internal/cache"
 	"raidsim/internal/disk"
-	"raidsim/internal/layout"
 	"raidsim/internal/sim"
 )
 
-// cachedRAID4 is the RAID4-with-parity-caching organization of section
+// raid4Scheme is the RAID4-with-parity-caching organization of section
 // 4.4: data is striped over N disks with a dedicated parity disk, and
 // parity updates are buffered in the same NV cache as data, sorted by
 // cylinder and spooled to the parity disk with a SCAN sweep. Foreground
 // reads therefore never queue behind parity read-modify-writes, at the
-// cost of one fewer data spindle and cache slots spent on parity.
-type cachedRAID4 struct {
-	*cachedCtrl
-	play *layout.RAID4
+// cost of one fewer data spindle and cache slots spent on parity. The
+// scheme only exists behind the cache front-end (New enforces Cached),
+// so cc is always set before the first write.
+type raid4Scheme struct {
+	parityScheme
+	cc *cachedCtrl // the front-end whose cache hosts the parity spool
 
 	spooling bool
 	scanPos  int64 // C-SCAN position on the parity disk
 	stalled  []func()
 }
 
-func newCachedRAID4(c *common, lay *layout.RAID4) (*cachedRAID4, error) {
-	ccfg := cache.Config{Blocks: c.cfg.CacheBlocks, KeepOldData: true}
-	nvc, err := cache.New(ccfg)
-	if err != nil {
-		return nil, err
-	}
-	r4 := &cachedRAID4{
-		cachedCtrl: &cachedCtrl{
-			common: c,
-			lay:    lay,
-			c:      nvc,
-			ccfg:   ccfg,
-		},
-		play: lay,
-	}
-	r4.writeBackMarked = r4.doWriteBack
-	r4.fetchRuns = func(lbas []int64) []run { return dataRuns(r4.lay, lbas) }
-	r4.initDestage()
-	return r4, nil
-}
-
-// Results implements Controller.
-func (r4 *cachedRAID4) Results() *Results { return r4.cachedResults(OrgRAID4) }
-
-// doWriteBack destages data blocks to the data disks; the matching parity
-// updates are enqueued into the cache-resident parity spool as soon as
-// their old-data inputs are known, instead of hitting the parity disk
-// synchronously. When the spool is full the destage waits for the spooler
-// to free a slot (section 4.4's stall).
-func (r4 *cachedRAID4) doWriteBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
-	ep := r4.epoch
-	if r4.degradedNow() {
+func (s *raid4Scheme) write(w writeOp) {
+	if s.c.degradedNow() {
 		// Degraded mode bypasses the parity spool: with the parity disk
 		// dead there is no parity to keep, and with a data disk dead each
 		// block needs the per-block case analysis.
-		r4.buf.Acquire(len(lbas), func() {
-			r4.degradedUpdate(r4.play, lbas, pri, func() {
-				r4.buf.Release(len(lbas))
-				if r4.epoch == ep {
-					for _, l := range lbas {
-						r4.c.CompleteDestage(l)
-					}
-				}
-				onDone()
-			})
-		})
+		s.c.parityDegradedWrite(s.lay, w)
 		return
 	}
-	plan := planUpdate(r4.play, lbas, func(l int64) bool {
-		e := r4.c.Lookup(l)
-		return e != nil && e.HasOld
-	})
+	plan := planUpdate(s.lay, w.lbas, w.hasOld)
 	nbuf := len(plan.dataRuns)
 	var stagger sim.Time
-	if len(plan.dataRuns) > 1 && spread > 0 {
-		stagger = spread / sim.Time(len(plan.dataRuns))
+	if len(plan.dataRuns) > 1 && w.spread > 0 {
+		stagger = w.spread / sim.Time(len(plan.dataRuns))
 	}
-	r4.buf.Acquire(nbuf, func() {
-		r4.executeUpdate(plan, updateOpts{
+	s.c.acquireAndXfer(nbuf, w.xfer, func() {
+		s.c.executeUpdate(plan, updateOpts{
 			policy:  RF, // enqueue parity once its inputs are read
-			pri:     pri,
+			pri:     w.pri,
 			stagger: stagger,
 			parityIssuer: func(pr parityRun, ready func() bool, done func()) {
-				r4.enqueueParityRun(pr, 0, done)
+				s.enqueueParityRun(pr, 0, done)
 			},
 			// Track buffers serve the data disks; spooled parity lives in
 			// cache slots, so release as soon as the data writes land.
-			onDataDone: func() { r4.buf.Release(nbuf) },
-			onDone: func() {
-				if r4.epoch == ep {
-					for _, l := range lbas {
-						r4.c.CompleteDestage(l)
-					}
-				}
-				onDone()
-			},
+			onDataDone: func() { s.c.buf.Release(nbuf) },
+			onDone:     w.onDone,
 		})
 	})
 }
@@ -108,46 +59,46 @@ func (r4 *cachedRAID4) doWriteBack(lbas []int64, pri disk.Priority, spread sim.T
 // failing that it waits for the spooler to free a slot, and if the spool
 // itself is empty — nothing will ever free a slot — it degrades to a
 // direct parity-disk access, the behavior of an uncached RAID4.
-func (r4 *cachedRAID4) enqueueParityRun(pr parityRun, i int, done func()) {
+func (s *raid4Scheme) enqueueParityRun(pr parityRun, i int, done func()) {
 	for ; i < pr.blocks; i++ {
 		k := cache.ParityKey{Disk: pr.disk, Block: pr.start + int64(i)}
-		for !r4.c.AddParityPending(k, pr.full) {
-			if v := r4.c.CleanVictim(); v != nil && r4.c.FreeSlots() == 0 {
-				r4.c.Drop(v.LBA)
+		for !s.cc.c.AddParityPending(k, pr.full) {
+			if v := s.cc.c.CleanVictim(); v != nil && s.cc.c.FreeSlots() == 0 {
+				s.cc.c.Drop(v.LBA)
 				continue
 			}
-			if r4.c.ParityPendingCount() > 0 {
+			if s.cc.c.ParityPendingCount() > 0 {
 				i := i
-				r4.stalled = append(r4.stalled, func() { r4.enqueueParityRun(pr, i, done) })
+				s.stalled = append(s.stalled, func() { s.enqueueParityRun(pr, i, done) })
 				return
 			}
 			// Spool wedged empty-but-unadmittable: bypass it.
 			i := i
-			r4.parityAccesses++
+			s.c.parityAccesses++
 			req := &disk.Request{
 				StartBlock: k.Block, Blocks: 1, Write: true,
 				Priority: disk.PriBackground,
-				OnDone:   func() { r4.enqueueParityRun(pr, i+1, done) },
+				OnDone:   func() { s.enqueueParityRun(pr, i+1, done) },
 			}
 			if !pr.full {
 				req.RMW = true
 			}
-			r4.disks[k.Disk].Submit(req)
+			s.c.disks[k.Disk].Submit(req)
 			return
 		}
 	}
 	done()
-	r4.spool()
+	s.spool()
 }
 
 // spool drives the parity disk: while updates are pending, service them
 // in C-SCAN order. Deltas need a read-modify-write (old parity XOR delta);
 // full images are plain writes.
-func (r4 *cachedRAID4) spool() {
-	if r4.spooling {
+func (s *raid4Scheme) spool() {
+	if s.spooling {
 		return
 	}
-	pending := r4.c.ParityPending()
+	pending := s.cc.c.ParityPending()
 	if len(pending) == 0 {
 		return
 	}
@@ -155,39 +106,39 @@ func (r4 *cachedRAID4) spool() {
 	// wrap to the lowest.
 	pick := pending[0]
 	for _, p := range pending {
-		if p.Key.Block >= r4.scanPos {
+		if p.Key.Block >= s.scanPos {
 			pick = p
 			break
 		}
 	}
-	r4.spooling = true
-	r4.parityAccesses++
-	ep := r4.epoch
+	s.spooling = true
+	s.c.parityAccesses++
+	ep := s.cc.epoch
 	req := &disk.Request{
 		StartBlock: pick.Key.Block,
 		Blocks:     1,
 		Write:      true,
 		Priority:   disk.PriBackground,
 		OnDone: func() {
-			r4.scanPos = pick.Key.Block + 1
+			s.scanPos = pick.Key.Block + 1
 			// Guard against an NVRAM failure that replaced the cache (and
 			// its spool) while this access was in flight.
-			if r4.epoch == ep {
-				r4.c.RemoveParityPending(pick.Key)
+			if s.cc.epoch == ep {
+				s.cc.c.RemoveParityPending(pick.Key)
 			}
-			r4.spooling = false
+			s.spooling = false
 			// A freed slot may unblock stalled destages.
-			if len(r4.stalled) > 0 {
-				w := r4.stalled[0]
-				copy(r4.stalled, r4.stalled[1:])
-				r4.stalled = r4.stalled[:len(r4.stalled)-1]
+			if len(s.stalled) > 0 {
+				w := s.stalled[0]
+				copy(s.stalled, s.stalled[1:])
+				s.stalled = s.stalled[:len(s.stalled)-1]
 				w()
 			}
-			r4.spool()
+			s.spool()
 		},
 	}
 	if !pick.Full {
 		req.RMW = true
 	}
-	r4.disks[pick.Key.Disk].Submit(req)
+	s.c.disks[pick.Key.Disk].Submit(req)
 }

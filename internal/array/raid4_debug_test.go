@@ -19,7 +19,7 @@ func TestRAID4DebugDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r4 := ctrl.(*cachedRAID4)
+	r4 := ctrl.(*cachedCtrl)
 	src := rng.New(99)
 	n := 3000
 	capacity := ctrl.DataBlocks()
@@ -48,7 +48,7 @@ func TestRAID4DebugDrain(t *testing.T) {
 			r4.c.Used(), r4.c.Capacity(), r4.c.Len(), r4.c.DirtyCount(),
 			r4.c.ParityPendingCount(), r4.c.FreeSlots())
 		t.Logf("spooling=%v stalled=%d bufFree=%d/%d chanQ=%d",
-			r4.spooling, len(r4.stalled), r4.buf.Free(), r4.buf.Cap(), r4.ch.QueueLen())
+			r4.s.(*raid4Scheme).spooling, len(r4.s.(*raid4Scheme).stalled), r4.buf.Free(), r4.buf.Cap(), r4.ch.QueueLen())
 		for i, d := range r4.disks {
 			t.Logf("disk %d: busy=%v q=%d acc=%d", i, d.Busy(), d.QueueLen(), d.S.Accesses)
 		}

@@ -1,0 +1,150 @@
+package array
+
+import (
+	"raidsim/internal/disk"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+// scheme is the redundancy mapping of one organization: how logical
+// blocks become device reads and writes, in normal and degraded mode.
+// A scheme only maps and issues device operations — the shared request
+// envelope (track buffers, channel transfer, response accounting) and
+// the optional NV-cache front-end live above it, the disk/bus back-end
+// below. The same scheme instance therefore serves both the non-cached
+// controller (schemeCtrl) and the cached one (cachedCtrl).
+type scheme interface {
+	// org labels results.
+	org() Org
+	// dataBlocks returns the organization's logical capacity.
+	dataBlocks() int64
+	// keepOldData reports whether the NV cache should keep pre-write
+	// images (parity schemes destage cheaper with old-data shadows).
+	keepOldData() bool
+	// fetchRuns lays out a read of the given blocks in normal mode;
+	// degraded reads recover per-run via readFallback.
+	fetchRuns(lbas []int64) []run
+	// write persists a batch of blocks, honoring degraded mode. The
+	// writeOp says whether this is a foreground write (xfer > 0: move
+	// the data over the channel first) or a cache destage (xfer == 0).
+	write(w writeOp)
+
+	// The degraded-mode mapping, called from the shared fault machinery:
+	// onFail classifies a fresh failure of slot d (data-loss accounting),
+	// rebuildSources lists the disks a rebuild of slot d reads from (nil
+	// means reconstruction is impossible), and readFallback serves a read
+	// run whose home disk is unreadable from redundancy, returning false
+	// when the data is unrecoverable.
+	onFail(d int)
+	rebuildSources(d int) []int
+	readFallback(rn run, pri disk.Priority, onDone func()) bool
+}
+
+// writeOp is one batch of blocks for a scheme to persist.
+type writeOp struct {
+	lbas []int64
+	// xfer, when positive, is a foreground write: that many blocks move
+	// over the array channel (after buffer acquisition) before any disk
+	// is touched. Zero means a destage — the data is already in the
+	// controller.
+	xfer   int
+	pri    disk.Priority
+	spread sim.Time // stagger window for background batches; 0 = none
+	// hasOld reports whether the pre-write image of a block is already
+	// in the controller (cache shadow); nil means never.
+	hasOld func(int64) bool
+	onDone func()
+}
+
+// schemeCtrl is the generic non-cached controller: any scheme behind
+// the shared read/write envelope.
+type schemeCtrl struct {
+	*common
+	s scheme
+}
+
+// DataBlocks implements Controller.
+func (sc *schemeCtrl) DataBlocks() int64 { return sc.s.dataBlocks() }
+
+// Results implements Controller.
+func (sc *schemeCtrl) Results() *Results { return sc.baseResults(sc.s.org()) }
+
+// Submit implements Controller.
+func (sc *schemeCtrl) Submit(r Request) {
+	sc.checkRequest(r, sc.s.dataBlocks())
+	start := sc.begin()
+	lbas := spanLBAs(r.LBA, r.Blocks)
+	if r.Op == trace.Read {
+		sc.readRuns(sc.s.fetchRuns(lbas), r.Blocks, func() { sc.finish(r, start) })
+		return
+	}
+	sc.s.write(writeOp{
+		lbas: lbas, xfer: r.Blocks, pri: disk.PriNormal,
+		onDone: func() { sc.finish(r, start) },
+	})
+}
+
+// readRuns performs reads for the runs, then one channel transfer of the
+// full request, then onDone. Shared by every organization; readRun makes
+// every path failure- and sector-error-aware.
+func (c *common) readRuns(runs []run, totalBlocks int, onDone func()) {
+	c.buf.Acquire(len(runs), func() {
+		done := newLatch(len(runs), func() {
+			c.chanXfer(totalBlocks, func() {
+				c.buf.Release(len(runs))
+				onDone()
+			})
+		})
+		for _, rn := range runs {
+			c.readRun(rn, disk.PriNormal, done.done)
+		}
+	})
+}
+
+// acquireAndXfer acquires n track buffers, then — for foreground writes
+// (xfer > 0) — moves the request over the channel, then runs issue.
+func (c *common) acquireAndXfer(n, xfer int, issue func()) {
+	c.buf.Acquire(n, func() {
+		if xfer > 0 {
+			c.chanXfer(xfer, issue)
+		} else {
+			issue()
+		}
+	})
+}
+
+// plainWrite issues plain (non-parity) write runs behind the standard
+// envelope: track buffers, foreground channel transfer, and the optional
+// stagger that spaces background batches out.
+func (c *common) plainWrite(runs []run, w writeOp) {
+	var stagger sim.Time
+	if len(runs) > 1 && w.spread > 0 {
+		stagger = w.spread / sim.Time(len(runs))
+	}
+	c.acquireAndXfer(len(runs), w.xfer, func() {
+		done := newLatch(len(runs), func() {
+			c.buf.Release(len(runs))
+			w.onDone()
+		})
+		for i, rn := range runs {
+			req := &disk.Request{
+				StartBlock: rn.start, Blocks: rn.blocks, Write: true,
+				Priority: w.pri, OnDone: done.done,
+			}
+			d := c.disks[rn.disk]
+			if stagger > 0 && i > 0 {
+				c.eng.After(stagger*sim.Time(i), func() { d.Submit(req) })
+			} else {
+				d.Submit(req)
+			}
+		}
+	})
+}
+
+func spanLBAs(lba int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lba + int64(i)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package array
+
+import (
+	"raidsim/internal/disk"
+	"raidsim/internal/layout"
+	"raidsim/internal/sim"
+)
+
+// parityScheme is an N+1 rotating- or area-parity organization: RAID5
+// and Parity Striping. Small writes read old data and old parity to
+// compute new parity; full-stripe writes overwrite parity directly. The
+// configured synchronization policy coordinates the two.
+type parityScheme struct {
+	c   *common
+	lay layout.ParityLayout
+	o   Org
+}
+
+func (s *parityScheme) org() Org          { return s.o }
+func (s *parityScheme) dataBlocks() int64 { return s.lay.DataBlocks() }
+func (s *parityScheme) keepOldData() bool { return true }
+
+func (s *parityScheme) fetchRuns(lbas []int64) []run { return dataRuns(s.lay, lbas) }
+
+func (s *parityScheme) write(w writeOp) {
+	if s.c.degradedNow() {
+		s.c.parityDegradedWrite(s.lay, w)
+		return
+	}
+	plan := planUpdate(s.lay, w.lbas, w.hasOld)
+	n := plan.totalRuns()
+	var stagger sim.Time
+	if len(plan.dataRuns) > 1 && w.spread > 0 {
+		stagger = w.spread / sim.Time(len(plan.dataRuns))
+	}
+	s.c.acquireAndXfer(n, w.xfer, func() {
+		s.c.executeUpdate(plan, updateOpts{
+			policy:  s.c.cfg.Sync,
+			pri:     w.pri,
+			stagger: stagger,
+			onDone: func() {
+				s.c.buf.Release(n)
+				w.onDone()
+			},
+		})
+	})
+}
+
+func (s *parityScheme) onFail(d int)               { s.c.parityOnFail(d) }
+func (s *parityScheme) rebuildSources(d int) []int { return s.c.parityRebuildSources(d) }
+func (s *parityScheme) readFallback(rn run, pri disk.Priority, onDone func()) bool {
+	return s.c.parityReadFallback(s.lay, rn, pri, onDone)
+}
+
+// The N+1 parity degraded mapping, shared by RAID5, Parity Striping and
+// RAID4: reads of a dead disk reconstruct from the surviving members
+// plus parity, a rebuild reads every other disk, and a second concurrent
+// failure loses data.
+
+func (c *common) parityOnFail(d int) {
+	for i := range c.disks {
+		if i != d && c.fs.failed[i] {
+			c.fs.dataLossEvents++
+			break
+		}
+	}
+}
+
+func (c *common) parityRebuildSources(d int) []int {
+	srcs := make([]int, 0, len(c.disks)-1)
+	for i := range c.disks {
+		if i == d {
+			continue
+		}
+		if c.fs.failed[i] {
+			return nil
+		}
+		srcs = append(srcs, i)
+	}
+	return srcs
+}
+
+func (c *common) parityReadFallback(lay layout.ParityLayout, rn run, pri disk.Priority, onDone func()) bool {
+	// Reconstruct each lost logical block: read its surviving stripe
+	// members and the stripe's parity block, XOR in the controller.
+	// Physical runs with no logical blocks attached (rebuild traffic)
+	// have nothing to map and recover for free.
+	var srcs []layout.Loc
+	for _, l := range rn.lbas {
+		for _, m := range lay.StripeMembers(l) {
+			if m == l {
+				continue
+			}
+			loc := lay.Map(m)
+			if c.fs.failed[loc.Disk] {
+				return false
+			}
+			srcs = append(srcs, loc)
+		}
+		p := lay.Parity(l)
+		if c.fs.failed[p.Disk] {
+			return false
+		}
+		srcs = append(srcs, p)
+	}
+	done := newLatch(len(srcs), onDone)
+	for _, s := range srcs {
+		c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, done.done)
+	}
+	return true
+}
+
+// parityDegradedWrite applies a write batch to a parity layout with
+// failures present, behind the standard envelope.
+func (c *common) parityDegradedWrite(lay layout.ParityLayout, w writeOp) {
+	n := len(w.lbas)
+	c.acquireAndXfer(n, w.xfer, func() {
+		c.degradedUpdate(lay, w.lbas, w.pri, func() {
+			c.buf.Release(n)
+			w.onDone()
+		})
+	})
+}
+
+// degradedUpdate applies a batch of block writes to a parity layout with
+// failures present, block at a time (run merging and policy scheduling
+// don't survive the per-block case analysis).
+func (c *common) degradedUpdate(lay layout.ParityLayout, lbas []int64, pri disk.Priority, onDone func()) {
+	done := newLatch(len(lbas), onDone)
+	for _, l := range lbas {
+		c.degradedWriteBlock(lay, l, pri, done.done)
+	}
+}
+
+// degradedWriteBlock writes one logical block to a parity layout under
+// failures, mirroring the degraded-mode cases internal/recovery models:
+//
+//   - home dead, parity alive: fold the write into parity — read the
+//     surviving stripe members, then overwrite parity with
+//     XOR(new data, survivors).
+//   - parity dead, home alive: plain data write, no parity to maintain.
+//   - both alive (or rebuilding): the usual data-RMW + parity-RMW pair,
+//     disk-first style.
+//   - both dead: the write has nowhere to land.
+func (c *common) degradedWriteBlock(lay layout.ParityLayout, l int64, pri disk.Priority, onDone func()) {
+	home := lay.Map(l)
+	p := lay.Parity(l)
+	homeDown := c.writeDown(home.Disk)
+	parityDown := c.writeDown(p.Disk)
+	switch {
+	case homeDown && parityDown:
+		c.fs.lostWriteBlocks++
+		c.eng.After(0, onDone)
+	case homeDown:
+		var srcs []layout.Loc
+		for _, m := range lay.StripeMembers(l) {
+			if m == l {
+				continue
+			}
+			loc := lay.Map(m)
+			if c.fs.failed[loc.Disk] {
+				// A second data disk is dead too; the stripe cannot hold
+				// this write.
+				c.fs.lostWriteBlocks++
+				c.eng.After(0, onDone)
+				return
+			}
+			srcs = append(srcs, loc)
+		}
+		c.parityAccesses++
+		read := newLatch(len(srcs), func() {
+			c.disks[p.Disk].Submit(&disk.Request{
+				StartBlock: p.Block, Blocks: 1, Write: true,
+				Priority: pri, OnDone: onDone,
+			})
+		})
+		for _, s := range srcs {
+			c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, read.done)
+		}
+	case parityDown:
+		c.disks[home.Disk].Submit(&disk.Request{
+			StartBlock: home.Block, Blocks: 1, Write: true,
+			Priority: pri, OnDone: onDone,
+		})
+	default:
+		readDone := false
+		c.parityAccesses++
+		all := newLatch(2, onDone)
+		dreq := &disk.Request{
+			StartBlock: home.Block, Blocks: 1, Write: true, RMW: true,
+			Priority:   pri,
+			OnReadDone: func() { readDone = true },
+			OnDone:     all.done,
+		}
+		dreq.OnStart = func() {
+			c.disks[p.Disk].Submit(&disk.Request{
+				StartBlock: p.Block, Blocks: 1, Write: true, RMW: true,
+				Priority: pri, Ready: func() bool { return readDone },
+				OnDone: all.done,
+			})
+		}
+		c.disks[home.Disk].Submit(dreq)
+	}
+}

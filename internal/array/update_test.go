@@ -17,14 +17,15 @@ func TestPriorityPoliciesUseHighClass(t *testing.T) {
 		cfg := testConfig(OrgRAID5, false)
 		cfg.Sync = pol
 		eng, ctrl := build(t, cfg)
-		p := ctrl.(*parityCtrl)
+		p := ctrl.(*schemeCtrl)
+		lay := p.s.(*parityScheme).lay
 
 		// Fill the parity disk of block 0's stripe with queued reads, then
 		// issue the write. With priority, the parity access jumps the queue.
-		ploc := p.lay.Parity(0)
+		ploc := lay.Parity(0)
 		var lbas []int64
 		for l := int64(0); l < 2000 && len(lbas) < 5; l++ {
-			if p.lay.Map(l).Disk == ploc.Disk {
+			if lay.Map(l).Disk == ploc.Disk {
 				lbas = append(lbas, l)
 			}
 		}
@@ -51,8 +52,8 @@ func TestUpdateOnDataDoneFiresBeforeParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := c.(*parityCtrl)
-	plan := planUpdate(p.lay, spanLBAs(0, 1), nil)
+	p := c.(*schemeCtrl)
+	plan := planUpdate(p.s.(*parityScheme).lay, spanLBAs(0, 1), nil)
 	var dataAt, parityAt, doneAt sim.Time
 	p.executeUpdate(plan, updateOpts{
 		policy: RF,
@@ -85,9 +86,9 @@ func TestUpdateStaggerSpacesDataRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := c.(*parityCtrl)
+	p := c.(*schemeCtrl)
 	// Four separate blocks on different disks -> four data runs.
-	lay := p.lay.(*layout.RAID5)
+	lay := p.s.(*parityScheme).lay.(*layout.RAID5)
 	lbas := []int64{0, 1, 2, 3}
 	plan := planUpdate(lay, lbas, func(int64) bool { return true })
 	if len(plan.dataRuns) < 2 {
@@ -157,7 +158,7 @@ func TestDiskSchedConfigPlumbing(t *testing.T) {
 	cfg := testConfig(OrgBase, false)
 	cfg.DiskSched = disk.SSTF
 	eng, ctrl := build(t, cfg)
-	b := ctrl.(*baseCtrl)
+	b := ctrl.(*schemeCtrl)
 	// Indirect but deterministic: SSTF must reorder a seek-heavy queue,
 	// reducing total seek distance versus FIFO.
 	run := func(ctrl Controller, eng *sim.Engine) int64 {
@@ -169,7 +170,7 @@ func TestDiskSchedConfigPlumbing(t *testing.T) {
 		drain(t, eng, ctrl)
 		var sum int64
 		switch c := ctrl.(type) {
-		case *baseCtrl:
+		case *schemeCtrl:
 			for _, d := range c.disks {
 				sum += d.S.SeekDistSum
 			}
@@ -194,7 +195,7 @@ func TestSyncSpindlesGivesCommonPhase(t *testing.T) {
 	cfg := testConfig(OrgBase, false)
 	cfg.SyncSpindles = true
 	eng, ctrl := build(t, cfg)
-	b := ctrl.(*baseCtrl)
+	b := ctrl.(*schemeCtrl)
 	// Same physical block on each disk, issued simultaneously from idle:
 	// identical phases mean identical *disk* service times (completions
 	// still spread out over the shared channel).
@@ -213,7 +214,7 @@ func TestSyncSpindlesGivesCommonPhase(t *testing.T) {
 	// And without the flag, phases differ.
 	cfg2 := testConfig(OrgBase, false)
 	eng2, ctrl2 := build(t, cfg2)
-	b2 := ctrl2.(*baseCtrl)
+	b2 := ctrl2.(*schemeCtrl)
 	for d := 0; d < 4; d++ {
 		ctrl2.Submit(Request{Op: trace.Read, LBA: int64(d)*bpd + 42, Blocks: 1})
 	}

@@ -97,7 +97,7 @@ func (c Config) Arrays() int { return (c.DataDisks + c.N - 1) / c.N }
 // paper's equal-capacity comparison.
 func (c Config) PhysicalDisks() int {
 	switch c.Org {
-	case array.OrgMirror:
+	case array.OrgMirror, array.OrgRAID10:
 		return 2 * c.DataDisks
 	case array.OrgBase, array.OrgRAID0:
 		return c.DataDisks
@@ -144,7 +144,7 @@ func (c Config) arrayConfig(group, disks int, fc fault.Config) array.Config {
 // given number of data disks.
 func (c Config) physWidth(disks int) int {
 	switch c.Org {
-	case array.OrgMirror:
+	case array.OrgMirror, array.OrgRAID10:
 		return 2 * disks
 	case array.OrgBase, array.OrgRAID0:
 		return disks
@@ -237,6 +237,11 @@ type Results struct {
 	HeldRotations  int64
 	ParityAccesses int64
 	Cache          cache.Stats
+
+	// Stages attributes disk-side time to pipeline stages across all
+	// arrays (queue wait / seek+rotate / transfer / parity sync /
+	// cache-destage stall).
+	Stages array.StageBreakdown
 
 	PerArray []*array.Results
 }
@@ -387,6 +392,7 @@ func merge(cfg Config, parts []*array.Results, events []uint64) *Results {
 		out.DiskUtil = append(out.DiskUtil, p.DiskUtil...)
 		out.HeldRotations += p.HeldRotations
 		out.ParityAccesses += p.ParityAccesses
+		out.Stages.Add(&p.Stages)
 		mergeCacheStats(&out.Cache, &p.Cache)
 	}
 	// Weighted mean of per-array seek distances, weighted by accesses.

@@ -73,9 +73,18 @@ type Stats struct {
 	HeldRotations int64 // extra full rotations waiting for RMW inputs
 	RMWAborts     int64 // RMWs that gave up holding and requeued
 	Dropped       int64 // requests refused because the drive had failed
-	QueueWait     stats.Summary
-	ServiceTime   stats.Summary
-	Util          stats.Utilization
+
+	// Mechanism-time attribution for the latency breakdown. The three sums
+	// partition the pure mechanism time (seek travel, rotational
+	// positioning including RMW write-pass realignment, media passes);
+	// held rotations and queueing are tracked separately above. An aborted
+	// RMW keeps the mechanism time it consumed, like HeldRotations.
+	SeekTime     sim.Time
+	RotateTime   sim.Time
+	TransferTime sim.Time
+	QueueWait    stats.Summary
+	ServiceTime  stats.Summary
+	Util         stats.Utilization
 }
 
 // Disk is a single simulated drive.
@@ -274,11 +283,13 @@ func (d *Disk) service(r *Request, now sim.Time) {
 		d.S.SeekCount++
 	}
 	seekT := d.seek.Time(dist)
+	d.S.SeekTime += seekT
 	d.cyl = chs.Cylinder
 
 	arrive := now + seekT
 	startAngle := d.spec.AngleOfBlock(chs.Block)
 	latency := d.rotationalDelay(arrive, startAngle)
+	d.S.RotateTime += latency
 	var plan transferPlan
 	if r.TransferSectors > 0 {
 		plan = transferPlan{
@@ -292,6 +303,7 @@ func (d *Disk) service(r *Request, now sim.Time) {
 
 	passStart := arrive + latency
 	passEnd := passStart + plan.duration
+	d.S.TransferTime += plan.duration
 
 	d.S.Accesses++
 	if r.RMW {
@@ -325,6 +337,9 @@ func (d *Disk) service(r *Request, now sim.Time) {
 		if k < 1 {
 			k = 1
 		}
+		// The gap between the read pass ending and the write pass starting
+		// is rotational repositioning.
+		d.S.RotateTime += k*rot - plan.duration
 		d.rmwWriteAttempt(r, passStart+k*rot, plan.duration, now, 0)
 	})
 }
@@ -351,6 +366,7 @@ func (d *Disk) rmwWriteAttempt(r *Request, writeStart sim.Time, dur sim.Time, sv
 			d.rmwWriteAttempt(r, writeStart+d.spec.RotationTime(), dur, svcStart, holds+1)
 			return
 		}
+		d.S.TransferTime += dur
 		d.eng.At(writeStart+dur, func() { d.finish(r, svcStart) })
 	})
 }

@@ -126,6 +126,35 @@ func TestMirrorLayout(t *testing.T) {
 	}
 }
 
+func TestRAID10Layout(t *testing.T) {
+	const bpd = 240
+	for _, c := range raid5Configs() {
+		lay := NewRAID10(c.n, bpd, c.su)
+		if lay.Disks() != 2*c.n {
+			t.Fatalf("Disks() = %d, want %d", lay.Disks(), 2*c.n)
+		}
+		want := (bpd / int64(c.su)) * int64(c.su) * int64(c.n)
+		if lay.DataBlocks() != want {
+			t.Fatalf("DataBlocks() = %d, want %d", lay.DataBlocks(), want)
+		}
+		checkDataBijective(t, lay, bpd)
+		for l := int64(0); l < lay.DataBlocks(); l++ {
+			p, a := lay.Map(l), lay.Alt(l)
+			if p.Disk%2 != 0 {
+				t.Fatalf("Map(%d) primary on odd disk %d", l, p.Disk)
+			}
+			if a.Disk != p.Disk+1 || a.Block != p.Block {
+				t.Fatalf("Alt(%d) = %+v, want disk %d block %d", l, a, p.Disk+1, p.Block)
+			}
+		}
+	}
+	// Consecutive units rotate across pairs, like RAID0 across disks.
+	lay := NewRAID10(4, 240, 2)
+	if lay.Map(0).Disk != 0 || lay.Map(2).Disk != 2 || lay.Map(8).Disk != 0 {
+		t.Fatal("RAID10 striping order wrong")
+	}
+}
+
 func raid5Configs() []struct{ n, su int } {
 	return []struct{ n, su int }{
 		{2, 1}, {3, 1}, {4, 2}, {5, 4}, {10, 1}, {10, 8}, {7, 3},

@@ -1,0 +1,55 @@
+package layout
+
+// RAID10 is striped mirror pairs (RAID1/0): the logical space is striped
+// in units of su blocks across n mirror pairs, each pair being a primary
+// drive 2d and its copy 2d+1 — the same pair convention as Mirror, so the
+// mirror scheme's read steering, failover and rebuild logic applies
+// unchanged. Compared with Mirror it adds RAID0's load balancing; the
+// physical cost (2n drives for n disks of data) is identical.
+type RAID10 struct {
+	n   int
+	bpd int64
+	su  int64
+}
+
+// NewRAID10 returns a RAID1/0 layout over n mirror pairs of bpd-block
+// drives with a striping unit of su blocks.
+func NewRAID10(n int, bpd int64, su int) *RAID10 {
+	if n <= 0 || bpd <= 0 {
+		panic("layout: RAID10 needs positive disks and blocks")
+	}
+	if su <= 0 {
+		panic("layout: RAID10 needs a positive striping unit")
+	}
+	return &RAID10{n: n, bpd: bpd, su: int64(su)}
+}
+
+// Disks implements DataLayout.
+func (r *RAID10) Disks() int { return 2 * r.n }
+
+// DataBlocks implements DataLayout. Only whole stripes are addressable,
+// as in RAID0.
+func (r *RAID10) DataBlocks() int64 {
+	stripesPerDisk := r.bpd / r.su
+	return stripesPerDisk * r.su * int64(r.n)
+}
+
+// Map returns the primary copy: stripe unit u lives on pair u%n at unit
+// offset u/n, and pair d occupies drives 2d, 2d+1.
+func (r *RAID10) Map(l int64) Loc {
+	checkRange(l, r.DataBlocks())
+	u, off := l/r.su, l%r.su
+	return Loc{
+		Disk:  2 * int(u%int64(r.n)),
+		Block: (u/int64(r.n))*r.su + off,
+	}
+}
+
+// Alt returns the secondary copy.
+func (r *RAID10) Alt(l int64) Loc {
+	p := r.Map(l)
+	p.Disk++
+	return p
+}
+
+var _ MirrorLayout = (*RAID10)(nil)

@@ -426,10 +426,3 @@ func centeredOrder(n, center int) []int {
 	}
 	return out
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
