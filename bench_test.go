@@ -20,6 +20,7 @@ import (
 	"raidsim/internal/exp"
 	"raidsim/internal/geom"
 	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 	"raidsim/internal/recovery"
 	"raidsim/internal/reliability"
 	"raidsim/internal/rng"
@@ -288,27 +289,37 @@ func BenchmarkExtRAID3(b *testing.B) {
 // BenchmarkArraySubmit drives one array controller's Submit path per
 // organization with a mixed 30%-write workload, one request per
 // iteration (benchstat-friendly: compare runs with
-// `benchstat old.txt new.txt`). Baselines live in BENCH_array.json.
+// `benchstat old.txt new.txt`). The *Obs variants run the same work with
+// a windowed observability recorder armed; their gap to the plain run is
+// the recorder's overhead budget (≤5%). Baselines live in
+// BENCH_array.json.
 func BenchmarkArraySubmit(b *testing.B) {
 	points := []struct {
 		name   string
 		org    array.Org
 		cached bool
+		obs    bool
 	}{
-		{"base", array.OrgBase, false},
-		{"mirror", array.OrgMirror, false},
-		{"raid10", array.OrgRAID10, false},
-		{"raid5", array.OrgRAID5, false},
-		{"pstripe", array.OrgParityStriping, false},
-		{"raid5cached", array.OrgRAID5, true},
-		{"raid4cached", array.OrgRAID4, true},
+		{"base", array.OrgBase, false, false},
+		{"mirror", array.OrgMirror, false, false},
+		{"raid10", array.OrgRAID10, false, false},
+		{"raid5", array.OrgRAID5, false, false},
+		{"pstripe", array.OrgParityStriping, false, false},
+		{"raid5cached", array.OrgRAID5, true, false},
+		{"raid4cached", array.OrgRAID4, true, false},
+		{"raid5Obs", array.OrgRAID5, false, true},
+		{"raid5cachedObs", array.OrgRAID5, true, true},
 	}
 	for _, p := range points {
 		b.Run(p.name, func(b *testing.B) {
 			eng := sim.New()
+			var rec *obs.Recorder
+			if p.obs {
+				rec = obs.NewRecorder(obs.Config{Window: sim.Second, Disks: 24})
+			}
 			ctrl, err := array.New(eng, array.Config{
 				Org: p.org, N: 10, Spec: geom.Default(), Sync: array.DF,
-				Cached: p.cached, CacheBlocks: 4096, Seed: 1,
+				Cached: p.cached, CacheBlocks: 4096, Seed: 1, Rec: rec,
 			})
 			if err != nil {
 				b.Fatal(err)

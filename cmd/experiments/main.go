@@ -18,30 +18,49 @@ import (
 	"strings"
 	"time"
 
+	"raidsim/internal/cliflag"
 	"raidsim/internal/exp"
+	"raidsim/internal/obs"
+	"raidsim/internal/sim"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		ids    = flag.String("exp", "", "comma-separated experiment ids to run")
-		all    = flag.Bool("all", false, "run every experiment")
-		scale  = flag.Float64("scale", 0.1, "trace scale (1.0 = the paper's full request counts)")
-		traces = flag.String("traces", "trace1,trace2", "workloads to evaluate")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot   = flag.Bool("plot", false, "draw figures as ASCII charts above their tables")
-		outDir = flag.String("out", "", "write each experiment's output to <dir>/<id>.txt instead of stdout")
-		quiet  = flag.Bool("quiet", false, "suppress progress messages on stderr")
+		list      = flag.Bool("list", false, "list available experiments")
+		ids       = flag.String("exp", "", "comma-separated experiment ids to run")
+		all       = flag.Bool("all", false, "run every experiment")
+		scale     = flag.Float64("scale", 0.1, "trace scale (1.0 = the paper's full request counts)")
+		traces    = flag.String("traces", "trace1,trace2", "workloads to evaluate")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot      = flag.Bool("plot", false, "draw figures as ASCII charts above their tables")
+		outDir    = flag.String("out", "", "write each experiment's output to <dir>/<id>.txt instead of stdout")
+		quiet     = flag.Bool("quiet", false, "suppress progress messages on stderr")
+		obsWindow = flag.Duration("obs-window", 0, "record windowed time series at this granularity in every run (0 = off)")
+		obsTrace  = flag.Int("obs-trace", 0, "retain up to this many observability events per run (0 = off)")
 	)
+	prof := cliflag.BindProfile(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
+		fmt.Printf("%-20s %-26s %s\n", "ID", "FIGURE", "TITLE")
 		for _, e := range exp.All() {
-			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+			fmt.Printf("%-20s %-26s %s\n", e.ID, e.Figure, e.Title)
+			if e.Knobs != "" {
+				fmt.Printf("%-20s %-26s knobs: %s\n", "", "", e.Knobs)
+			}
 		}
 		return
 	}
+
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	var todo []exp.Experiment
 	switch {
@@ -67,6 +86,7 @@ func main() {
 			Out:    out,
 			CSV:    *csv,
 			Plot:   *plot,
+			Obs:    obs.Config{Window: sim.Time(*obsWindow), TraceCap: *obsTrace},
 		})
 	}
 	var ctx *exp.Context

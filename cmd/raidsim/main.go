@@ -8,20 +8,19 @@
 //	raidsim -profile trace2 -org raid5 -n 10
 //	raidsim -profile trace1 -scale 0.05 -org raid4 -cached -cache-mb 32
 //	raidsim -trace t.bin -org pstripe -placement end -sync rfpr
+//	raidsim -profile trace2 -org raid5 -obs-window 1s -obs-trace 256 -obs-jsonl events.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"raidsim/internal/array"
+	"raidsim/internal/cliflag"
 	"raidsim/internal/core"
-	"raidsim/internal/disk"
 	"raidsim/internal/fault"
-	"raidsim/internal/geom"
-	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 	"raidsim/internal/report"
 	"raidsim/internal/sim"
 	"raidsim/internal/trace"
@@ -34,37 +33,35 @@ func main() {
 		profile   = flag.String("profile", "trace2", "built-in workload: trace1 or trace2")
 		scale     = flag.Float64("scale", 0.1, "scale factor for the built-in workload")
 		speed     = flag.Float64("speed", 1, "trace speed factor (2 = twice the load)")
-		orgName   = flag.String("org", "raid5", "organization: "+strings.Join(array.OrgNames(), ", "))
-		n         = flag.Int("n", 10, "data disks per array (N)")
-		su        = flag.Int("su", 1, "striping unit in blocks (RAID5/RAID4)")
-		syncName  = flag.String("sync", "df", "parity sync policy: si, rf, rfpr, df, dfpr")
-		placement = flag.String("placement", "middle", "parity striping placement: middle or end")
-		punit     = flag.Int64("parity-unit", 0, "fine-grained parity striping unit (0 = classic)")
-		cached    = flag.Bool("cached", false, "enable the non-volatile controller cache")
-		cacheMB   = flag.Int("cache-mb", 16, "cache size per array, MB")
-		destage   = flag.Float64("destage-sec", 1, "destage period, seconds")
-		pureLRU   = flag.Bool("pure-lru", false, "write back only on eviction (no periodic destage)")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
 		perDisk   = flag.Bool("per-disk", false, "print per-disk access counts and utilization")
-		sched     = flag.String("sched", "fifo", "drive queue discipline: fifo, sstf, look")
-		spindles  = flag.Bool("sync-spindles", false, "synchronize spindle rotation across drives")
 		mpl       = flag.Int("mpl", 0, "closed-loop mode: keep this many requests outstanding per array (0 = replay trace timing)")
 		thinkMS   = flag.Float64("think-ms", 0, "closed-loop think time between completion and next request")
 
-		failAt      = flag.Duration("fail-at", 0, "inject a disk failure at this time into the run (e.g. 30s; 0 = none)")
-		failDisk    = flag.Int("fail-disk", 0, "physical disk to fail at -fail-at (array-major numbering)")
-		spares      = flag.Int("spares", 0, "hot spares per array; a failure consumes one and triggers a background rebuild")
-		mttfHours   = flag.Float64("mttf-hours", 0, "give every drive an exponential lifetime with this mean (0 = no stochastic failures)")
-		mttrHours   = flag.Float64("mttr-hours", 24, "mean repair time for the -mttdl-runs campaign")
-		sectorRate  = flag.Float64("sector-error-rate", 0, "per-block probability a media read surfaces a latent sector error")
-		cacheFailAt = flag.Duration("cache-fail-at", 0, "fail the NVRAM cache at this time (0 = never)")
-		faultSeed   = flag.Uint64("fault-seed", 0, "seed for the stochastic fault streams")
-		mttdlRuns   = flag.Int("mttdl-runs", 0, "run a Monte-Carlo MTTDL campaign with this many lifetimes instead of a trace replay")
+		mttrHours = flag.Float64("mttr-hours", 24, "mean repair time for the -mttdl-runs campaign")
+		mttdlRuns = flag.Int("mttdl-runs", 0, "run a Monte-Carlo MTTDL campaign with this many lifetimes instead of a trace replay")
+
+		obsCSV   = flag.String("obs-csv", "", "write the windowed time series to this CSV file")
+		obsJSONL = flag.String("obs-jsonl", "", "write the retained observability events to this JSONL file")
 	)
+	bind := cliflag.Bind(flag.CommandLine)
+	prof := cliflag.BindProfile(flag.CommandLine)
 	flag.Parse()
 
+	cfg, err := bind.Config()
+	if err != nil {
+		fatal(err)
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "raidsim:", err)
+		}
+	}()
+
 	if *mttdlRuns > 0 {
-		runCampaign(*orgName, *n, *mttfHours, *mttrHours, *mttdlRuns, *faultSeed)
+		runCampaign(cfg, *mttrHours, *mttdlRuns)
 		return
 	}
 
@@ -77,51 +74,8 @@ func main() {
 			fatal(err)
 		}
 	}
+	cfg.DataDisks = tr.NumDisks
 
-	org, err := array.ParseOrg(*orgName)
-	if err != nil {
-		fatal(err)
-	}
-	syn, err := array.ParseSyncPolicy(*syncName)
-	if err != nil {
-		fatal(err)
-	}
-	pl := layout.MiddlePlacement
-	if strings.EqualFold(*placement, "end") {
-		pl = layout.EndPlacement
-	}
-	sd, err := disk.ParseSched(*sched)
-	if err != nil {
-		fatal(err)
-	}
-
-	cfg := core.Config{
-		Org:              org,
-		DataDisks:        tr.NumDisks,
-		N:                *n,
-		Spec:             geom.Default(),
-		StripingUnit:     *su,
-		Placement:        pl,
-		ParityStripeUnit: *punit,
-		Sync:             syn,
-		Cached:           *cached,
-		CacheMB:          *cacheMB,
-		DestagePeriod:    sim.Time(*destage * float64(sim.Second)),
-		PureLRUWriteback: *pureLRU,
-		DiskSched:        sd,
-		SyncSpindles:     *spindles,
-		Seed:             *seed,
-		Spares:           *spares,
-		Fault: fault.Config{
-			MTTF:            sim.Time(*mttfHours * 3600 * float64(sim.Second)),
-			CacheFailAt:     sim.Time(*cacheFailAt),
-			SectorErrorRate: *sectorRate,
-			Seed:            *faultSeed,
-		},
-	}
-	if *failAt > 0 {
-		cfg.Fault.DiskFails = []fault.DiskFail{{Disk: *failDisk, At: sim.Time(*failAt)}}
-	}
 	if *mpl > 0 {
 		res, err := core.RunClosedLoop(cfg, tr, core.ClosedLoopConfig{
 			MPL:       *mpl,
@@ -133,6 +87,7 @@ func main() {
 		printResults(cfg, tr, &res.Results, *perDisk)
 		fmt.Printf("closed loop: MPL=%d throughput %.1f req/s (makespan %.1fs)\n",
 			*mpl, res.Throughput(), float64(res.Makespan)/float64(sim.Second))
+		printObs(&res.Results, *obsCSV, *obsJSONL)
 		return
 	}
 	res, err := core.Run(cfg, tr)
@@ -140,6 +95,53 @@ func main() {
 		fatal(err)
 	}
 	printResults(cfg, tr, res, *perDisk)
+	printObs(res, *obsCSV, *obsJSONL)
+}
+
+// printObs renders the windowed time series (table + ASCII plot) and
+// writes the optional CSV / JSONL artifacts.
+func printObs(res *core.Results, csvPath, jsonlPath string) {
+	if res.Series != nil {
+		if res.Series.Len() > 1 {
+			if err := report.SeriesFigure("response over time", res.Series).RenderPlot(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if err := report.SeriesTable("windowed time series", res.Series).Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if csvPath != "" {
+			f, err := os.Create(csvPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.Series.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if len(res.ObsEvents) > 0 {
+		if jsonlPath == "" {
+			fmt.Printf("event trace: %d events retained (%d dropped); write them with -obs-jsonl\n\n",
+				len(res.ObsEvents), res.ObsEventsDropped)
+			return
+		}
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteJSONL(f, res.ObsEvents); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("event trace: %d events -> %s (%d dropped)\n\n",
+			len(res.ObsEvents), jsonlPath, res.ObsEventsDropped)
+	}
 }
 
 func loadTrace(path, profile string, scale float64) (*trace.Trace, error) {
@@ -260,33 +262,30 @@ func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk b
 
 // runCampaign runs the Monte-Carlo MTTDL campaign for -mttdl-runs and
 // prints the empirical mean next to the analytic Markov predictions.
-func runCampaign(orgName string, n int, mttfHours, mttrHours float64, runs int, seed uint64) {
+func runCampaign(cfg core.Config, mttrHours float64, runs int) {
+	mttfHours := float64(cfg.Fault.MTTF) / (3600 * float64(sim.Second))
 	if mttfHours <= 0 {
 		fatal(fmt.Errorf("-mttdl-runs needs -mttf-hours"))
 	}
-	org, err := array.ParseOrg(orgName)
-	if err != nil {
-		fatal(err)
-	}
 	var scheme fault.Scheme
-	switch org {
+	switch cfg.Org {
 	case array.OrgMirror, array.OrgRAID10:
 		scheme = fault.MirrorPair
 	case array.OrgRAID5, array.OrgRAID4, array.OrgParityStriping:
 		scheme = fault.ParityArray
 	default:
-		fatal(fmt.Errorf("organization %v has no redundancy to measure MTTDL for", org))
+		fatal(fmt.Errorf("organization %v has no redundancy to measure MTTDL for", cfg.Org))
 	}
 	res, err := fault.RunCampaign(fault.CampaignConfig{
-		Scheme: scheme, N: n,
+		Scheme: scheme, N: cfg.N,
 		MTTFHours: mttfHours, MTTRHours: mttrHours,
-		Runs: runs, Seed: seed,
+		Runs: runs, Seed: cfg.Fault.Seed,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	t := &report.Table{
-		Title:   fmt.Sprintf("MTTDL campaign: %s (%s), MTTF %gh, MTTR %gh, %d lifetimes", org, scheme, mttfHours, mttrHours, runs),
+		Title:   fmt.Sprintf("MTTDL campaign: %s (%s), MTTF %gh, MTTR %gh, %d lifetimes", cfg.Org, scheme, mttfHours, mttrHours, runs),
 		Columns: []string{"metric", "value"},
 	}
 	t.AddRow("empirical MTTDL (h)", fmt.Sprintf("%.0f", res.EmpiricalMTTDLHours))

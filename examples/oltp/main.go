@@ -14,7 +14,6 @@ import (
 
 	"raidsim/internal/array"
 	"raidsim/internal/core"
-	"raidsim/internal/geom"
 	"raidsim/internal/report"
 	"raidsim/internal/workload"
 )
@@ -37,11 +36,9 @@ func main() {
 			array.OrgBase, array.OrgMirror, array.OrgRAID5,
 			array.OrgParityStriping, array.OrgRAID4, array.OrgParityLog,
 		} {
-			cfg := core.Config{
-				Org: org, DataDisks: prof.NumDisks, N: 10,
-				Spec: geom.Default(), Sync: array.DF,
-				CacheMB: 16, Seed: 1,
-			}
+			// Table 4's baseline, sized to the trace's data capacity.
+			cfg := core.DefaultConfig(org)
+			cfg.DataDisks = prof.NumDisks
 			// RAID4 is only studied cached; parity logging only
 			// non-cached (its log plays the cache's role).
 			cachedStr, uncachedStr := "-", "-"

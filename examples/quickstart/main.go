@@ -9,7 +9,6 @@ import (
 
 	"raidsim/internal/array"
 	"raidsim/internal/core"
-	"raidsim/internal/geom"
 	"raidsim/internal/workload"
 )
 
@@ -24,14 +23,10 @@ func main() {
 	fmt.Printf("workload: %d requests over %d disks\n\n", len(tr.Records), tr.NumDisks)
 
 	for _, org := range []array.Org{array.OrgBase, array.OrgRAID5} {
-		cfg := core.Config{
-			Org:       org,
-			DataDisks: profile.NumDisks,
-			N:         10,             // data disks per array
-			Spec:      geom.Default(), // Table 1's 5400 rpm, 0.9 GB drive
-			Sync:      array.DF,       // Disk First parity synchronization
-			Seed:      1,
-		}
+		// Table 4's baseline (10-disk arrays of Table 1's drive, Disk
+		// First parity sync); only the system size comes from the trace.
+		cfg := core.DefaultConfig(org)
+		cfg.DataDisks = profile.NumDisks
 		res, err := core.Run(cfg, tr)
 		if err != nil {
 			log.Fatal(err)

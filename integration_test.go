@@ -15,6 +15,7 @@ import (
 	"raidsim/internal/fault"
 	"raidsim/internal/geom"
 	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 	"raidsim/internal/trace"
 	"raidsim/internal/workload"
@@ -239,6 +240,72 @@ func TestRefactorEquivalence(t *testing.T) {
 		}
 		if got != want {
 			t.Errorf("%s: results drifted from the pre-refactor capture\n got: %s\nwant: %s", tc.name, got, want)
+		}
+	}
+}
+
+// TestObservabilityEquivalence re-runs the equivalence matrix with the
+// observability recorder armed and checks every result against the same
+// golden fingerprints, modulo the event count: the recorder's sampling
+// ticker adds engine events but must not perturb a single request,
+// cache, disk or fault statistic. It also sanity-checks that the series
+// actually captured the run.
+func TestObservabilityEquivalence(t *testing.T) {
+	p := smallProfile()
+	p.Requests = 4000
+	p.Duration = 240 * sim.Second
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the leading "ev=N " field: the sampler is allowed to add
+	// engine events, and nothing else.
+	stripEv := func(fp string) string {
+		if i := strings.Index(fp, " "); i >= 0 && strings.HasPrefix(fp, "ev=") {
+			return fp[i+1:]
+		}
+		return fp
+	}
+	for _, tc := range equivalenceCases {
+		cfg := core.Config{
+			Org: tc.org, DataDisks: 10, N: 5,
+			Spec: geom.Default(), Sync: tc.sync,
+			Cached: tc.cached, CacheMB: 8, Seed: 9,
+			Placement: layout.EndPlacement,
+			Obs:       obs.Config{Window: 10 * sim.Second, TraceCap: 64},
+		}
+		if tc.faulted {
+			cfg.Spares = 1
+			cfg.Fault = fault.Config{
+				DiskFails: []fault.DiskFail{{Disk: 1, At: 30 * sim.Second}},
+			}
+			if tc.cached {
+				cfg.Fault.CacheFailAt = 60 * sim.Second
+			}
+		}
+		res, err := core.Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, ok := equivalenceGolden[tc.name]
+		if !ok {
+			continue
+		}
+		if got := stripEv(fingerprint(res)); got != stripEv(want) {
+			t.Errorf("%s: recording observability changed the simulation\n got: %s\nwant: %s", tc.name, got, stripEv(want))
+		}
+		if res.Series == nil {
+			t.Fatalf("%s: no series recorded", tc.name)
+		}
+		var reqs int64
+		for _, pt := range res.Series.Points() {
+			reqs += pt.Requests
+		}
+		if reqs != res.Resp.N() {
+			t.Errorf("%s: series saw %d requests, results saw %d", tc.name, reqs, res.Resp.N())
+		}
+		if tc.faulted && len(res.ObsEvents) == 0 {
+			t.Errorf("%s: faulted run retained no observability events", tc.name)
 		}
 	}
 }

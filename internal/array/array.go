@@ -23,6 +23,7 @@ import (
 	"raidsim/internal/fault"
 	"raidsim/internal/geom"
 	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 	"raidsim/internal/rng"
 	"raidsim/internal/sim"
 	"raidsim/internal/stats"
@@ -208,6 +209,11 @@ type Config struct {
 	// is an idle gap between chunks to throttle rebuild interference.
 	RebuildChunk int
 	RebuildPause sim.Time
+
+	// Rec, when non-nil, receives windowed time-series observations
+	// (latency histograms, utilization, queue depth, destage and rebuild
+	// traffic). A nil Rec leaves the simulation bit-identical.
+	Rec *obs.Recorder
 }
 
 func (c *Config) fillDefaults() error {
@@ -476,6 +482,10 @@ type common struct {
 	// results time.
 	stages StageBreakdown
 
+	// dirtyFrac reports the cache dirty fraction for the observability
+	// sampler; nil for non-cached controllers.
+	dirtyFrac func() float64
+
 	fs faultState
 }
 
@@ -508,7 +518,38 @@ func newCommon(eng *sim.Engine, cfg Config, ndisks int) (*common, error) {
 	c.fs.failed = make([]bool, ndisks)
 	c.fs.rebuilding = make([]bool, ndisks)
 	c.fs.spares = cfg.Spares
+	c.armObs()
 	return c, nil
+}
+
+// armObs attaches the recorder's probes: per-disk busy intervals and a
+// uniform-in-time sampler for queue depth, cache dirty fraction, and the
+// engine's executed-event count. The sampler period is a quarter window,
+// so every window averages four snapshots. No-op without a recorder —
+// with observability off the engine sees no extra events at all.
+func (c *common) armObs() {
+	rec := c.cfg.Rec
+	if rec == nil {
+		return
+	}
+	for _, d := range c.disks {
+		d.SetProbe(rec)
+	}
+	period := rec.Window() / 4
+	if period <= 0 {
+		period = 1
+	}
+	sim.NewTicker(c.eng, period, func() {
+		depth := 0
+		for _, d := range c.disks {
+			depth += d.QueueLen()
+		}
+		var dirty float64
+		if c.dirtyFrac != nil {
+			dirty = c.dirtyFrac()
+		}
+		rec.Sample(c.eng.Now(), depth, dirty, c.eng.Steps())
+	})
 }
 
 func (c *common) begin() sim.Time {
@@ -518,6 +559,11 @@ func (c *common) begin() sim.Time {
 }
 
 func (c *common) finish(r Request, start sim.Time) {
+	if rec := c.cfg.Rec; rec != nil {
+		// The recorder sees every completion (warmup included): the time
+		// series exists to show transients, not steady state.
+		rec.Request(c.eng.Now(), r.Op != trace.Read, sim.Millis(c.eng.Now()-start))
+	}
 	if start >= c.cfg.Warmup {
 		ms := sim.Millis(c.eng.Now() - start)
 		c.resp.Add(ms)

@@ -3,6 +3,7 @@ package array
 import (
 	"raidsim/internal/cache"
 	"raidsim/internal/disk"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 	"raidsim/internal/trace"
 )
@@ -35,6 +36,11 @@ func newCached(c *common, s scheme) (*cachedCtrl, error) {
 		return nil, err
 	}
 	cc := &cachedCtrl{common: c, s: s, c: nvc, ccfg: ccfg}
+	// cc.c is read at sample time, so the closure survives the cache
+	// module being swapped out after an NVRAM failure.
+	c.dirtyFrac = func() float64 {
+		return float64(cc.c.DirtyCount()) / float64(cc.c.Capacity())
+	}
 	cc.initDestage()
 	return cc, nil
 }
@@ -89,7 +95,9 @@ func (cc *cachedCtrl) initDestage() {
 // in flight keep running — their disk writes are harmless — but their
 // completion bookkeeping is epoch-guarded away.
 func (cc *cachedCtrl) cacheFailed() {
-	cc.fs.dirtyLost += int64(len(cc.c.DirtyNotDestaging()))
+	lost := len(cc.c.DirtyNotDestaging())
+	cc.fs.dirtyLost += int64(lost)
+	cc.cfg.Rec.Note(obs.Event{At: cc.eng.Now(), Kind: obs.EvCacheFail, Blocks: lost})
 	cc.epoch++
 	fresh, err := cache.New(cc.ccfg)
 	if err != nil {
@@ -124,6 +132,7 @@ func (cc *cachedCtrl) destageTick() {
 	if len(lbas) == 0 {
 		return
 	}
+	cc.cfg.Rec.Destage(cc.eng.Now(), len(lbas))
 	spread := cc.cfg.DestagePeriod / 5
 	nchunks := (len(lbas) + destageChunk - 1) / destageChunk
 	gap := spread / sim.Time(nchunks)

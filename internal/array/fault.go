@@ -3,6 +3,7 @@ package array
 import (
 	"raidsim/internal/disk"
 	"raidsim/internal/fault"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 	"raidsim/internal/stats"
 )
@@ -86,6 +87,8 @@ func (c *common) FailDisk(d int) {
 	c.fs.failed[d] = true
 	c.fs.nfailed++
 	c.fs.degraded.Open(now)
+	c.cfg.Rec.Degraded(now, true)
+	c.cfg.Rec.Note(obs.Event{At: now, Kind: obs.EvDiskFail, Disk: d})
 	c.disks[d].Fail()
 	if c.sch != nil {
 		c.sch.onFail(d)
@@ -95,6 +98,7 @@ func (c *common) FailDisk(d int) {
 	}
 	c.fs.spares--
 	c.fs.sparesUsed++
+	c.cfg.Rec.Note(obs.Event{At: now, Kind: obs.EvSpareSwap, Disk: d})
 	c.disks[d].Repair()
 	var srcs []int
 	if c.sch != nil {
@@ -122,10 +126,15 @@ func (c *common) FailCache() {
 
 // completeRepair puts slot d back in service.
 func (c *common) completeRepair(d int) {
+	now := c.eng.Now()
 	c.fs.rebuilding[d] = false
 	c.fs.failed[d] = false
 	c.fs.nfailed--
-	c.fs.degraded.Close(c.eng.Now())
+	c.fs.degraded.Close(now)
+	if c.fs.nfailed == 0 {
+		c.cfg.Rec.Degraded(now, false)
+	}
+	c.cfg.Rec.Note(obs.Event{At: now, Kind: obs.EvRebuildDone, Disk: d})
 	if c.fs.inj != nil {
 		c.fs.inj.DiskReplaced(d)
 	}
@@ -161,6 +170,7 @@ func (c *common) sweepRebuild(d int, pos int64, started sim.Time) {
 			StartBlock: pos, Blocks: n, Write: true,
 			Priority: disk.PriBackground,
 			OnDone: func() {
+				c.cfg.Rec.RebuildIO(c.eng.Now(), n)
 				next := func() { c.sweepRebuild(d, pos+int64(n), started) }
 				if c.cfg.RebuildPause > 0 {
 					c.eng.After(c.cfg.RebuildPause, next)
@@ -232,6 +242,7 @@ func (c *common) fallbackRead(rn run, pri disk.Priority, onDone func()) {
 		return
 	}
 	c.fs.lostReadBlocks += int64(rn.blocks)
+	c.cfg.Rec.Note(obs.Event{At: c.eng.Now(), Kind: obs.EvDataLoss, Disk: rn.disk, Blocks: rn.blocks})
 	c.eng.After(0, onDone)
 }
 

@@ -55,11 +55,12 @@ type Stats struct {
 
 // Cache is a fixed-capacity write-back LRU block cache.
 type Cache struct {
-	cfg  Config
-	m    map[int64]*Entry
-	head *Entry // MRU
-	tail *Entry // LRU
-	used int    // slots: entries + old shadows + pending parity
+	cfg   Config
+	m     map[int64]*Entry
+	head  *Entry // MRU
+	tail  *Entry // LRU
+	used  int    // slots: entries + old shadows + pending parity
+	dirty int    // dirty entries, kept incrementally so DirtyCount is O(1)
 
 	parity map[ParityKey]bool
 	S      Stats
@@ -176,6 +177,9 @@ func (c *Cache) MarkDirty(lba int64) {
 		c.pushFront(e)
 		return
 	}
+	if !e.Dirty {
+		c.dirty++
+	}
 	if !e.Dirty && c.cfg.KeepOldData && !e.HasOld {
 		if c.used < c.cfg.Blocks {
 			e.HasOld = true
@@ -201,6 +205,9 @@ func (c *Cache) Insert(lba int64, dirty bool) *Entry {
 	}
 	c.bumpUsed(1)
 	e := &Entry{LBA: lba, Dirty: dirty}
+	if dirty {
+		c.dirty++
+	}
 	c.m[lba] = e
 	c.pushFront(e)
 	c.S.Inserts++
@@ -237,6 +244,9 @@ func (c *Cache) Drop(lba int64) {
 	}
 	c.unlink(e)
 	delete(c.m, lba)
+	if e.Dirty {
+		c.dirty--
+	}
 	n := 1
 	if e.HasOld {
 		n++
@@ -276,6 +286,7 @@ func (c *Cache) CompleteDestage(lba int64) {
 		e.redirtied = false
 	} else {
 		e.Dirty = false
+		c.dirty--
 	}
 	if e.HasOld {
 		e.HasOld = false
@@ -298,15 +309,7 @@ func (c *Cache) DirtyNotDestaging() []int64 {
 }
 
 // DirtyCount returns the number of dirty blocks (in flight or not).
-func (c *Cache) DirtyCount() int {
-	n := 0
-	for _, e := range c.m {
-		if e.Dirty {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) DirtyCount() int { return c.dirty }
 
 // PendingParity is a buffered parity update. Full means the complete new
 // parity is known (a fully overwritten stripe), so applying it needs no

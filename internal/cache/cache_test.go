@@ -303,6 +303,15 @@ func TestQuickOccupancyInvariant(t *testing.T) {
 			if c.Len() != len(inCache) {
 				return false
 			}
+			dirty := 0
+			for _, e := range c.m {
+				if e.Dirty {
+					dirty++
+				}
+			}
+			if c.DirtyCount() != dirty {
+				return false
+			}
 		}
 		return true
 	}

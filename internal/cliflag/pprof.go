@@ -1,0 +1,71 @@
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile binds the -cpuprofile/-memprofile flags and manages the
+// profile files. Usage:
+//
+//	prof := cliflag.BindProfile(flag.CommandLine)
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+type Profile struct {
+	cpu, mem *string
+	f        *os.File
+}
+
+// BindProfile registers the profiling flags on fs.
+func BindProfile(fs *flag.FlagSet) *Profile {
+	return &Profile{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given.
+func (p *Profile) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cliflag: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cliflag: cpu profile: %w", err)
+	}
+	p.f = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, as
+// requested. Safe to call without a preceding Start.
+func (p *Profile) Stop() error {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			return err
+		}
+		p.f = nil
+	}
+	if *p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		return fmt.Errorf("cliflag: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("cliflag: heap profile: %w", err)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"raidsim/internal/array"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 	"raidsim/internal/trace"
 )
@@ -69,6 +70,7 @@ func RunClosedLoop(cfg Config, tr *trace.Trace, cl ClosedLoopConfig) (*ClosedLoo
 	}
 
 	sem := make(chan struct{}, workers)
+	recs := make([]*obs.Recorder, len(subs))
 	var wg sync.WaitGroup
 	for g, sub := range subs {
 		wg.Add(1)
@@ -76,7 +78,9 @@ func RunClosedLoop(cfg Config, tr *trace.Trace, cl ClosedLoopConfig) (*ClosedLoo
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			parts[g], events[g], spans[g], errs[g] = runOneArrayClosed(cfg.arrayConfig(g, widths[g], faults[g]), sub, cl)
+			ac := cfg.arrayConfig(g, widths[g], faults[g])
+			recs[g] = ac.Rec
+			parts[g], events[g], spans[g], errs[g] = runOneArrayClosed(ac, sub, cl)
 		}(g, sub)
 	}
 	wg.Wait()
@@ -86,6 +90,7 @@ func RunClosedLoop(cfg Config, tr *trace.Trace, cl ClosedLoopConfig) (*ClosedLoo
 		}
 	}
 	out := &ClosedLoopResults{Results: *merge(cfg, parts, events)}
+	attachObs(&out.Results, recs)
 	for _, s := range spans {
 		if s > out.Makespan {
 			out.Makespan = s

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"raidsim/internal/array"
@@ -16,6 +17,7 @@ import (
 	"raidsim/internal/fault"
 	"raidsim/internal/geom"
 	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 	"raidsim/internal/stats"
 	"raidsim/internal/trace"
@@ -68,6 +70,11 @@ type Config struct {
 	// inserts idle time between chunks to favor foreground traffic.
 	RebuildChunk int
 	RebuildPause sim.Time
+
+	// Obs configures the windowed time-series observability layer. The
+	// zero value disables it, leaving every simulation bit-identical;
+	// Obs.Disks is derived per array and ignored here.
+	Obs obs.Config
 }
 
 // Validate reports configuration errors.
@@ -116,7 +123,14 @@ func (c Config) PhysicalDisks() int {
 }
 
 func (c Config) arrayConfig(group, disks int, fc fault.Config) array.Config {
+	var rec *obs.Recorder
+	if c.Obs.Enabled() {
+		oc := c.Obs
+		oc.Disks = c.physWidth(disks)
+		rec = obs.NewRecorder(oc)
+	}
 	return array.Config{
+		Rec:              rec,
 		Org:              c.Org,
 		N:                disks,
 		Spec:             c.Spec,
@@ -243,6 +257,15 @@ type Results struct {
 	// cache-destage stall).
 	Stages array.StageBreakdown
 
+	// Series is the merged windowed time series across all arrays; nil
+	// when observability is off (Config.Obs zero).
+	Series *obs.Series
+	// ObsEvents is the merged event trace in chronological order, each
+	// event annotated with the array that emitted it. ObsEventsDropped
+	// counts events the bounded per-array rings overwrote.
+	ObsEvents        []obs.Event
+	ObsEventsDropped int64
+
 	PerArray []*array.Results
 }
 
@@ -354,6 +377,7 @@ func Run(cfg Config, tr *trace.Trace) (*Results, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, workers)
+	recs := make([]*obs.Recorder, len(subs))
 	var wg sync.WaitGroup
 	for g, sub := range subs {
 		wg.Add(1)
@@ -361,7 +385,9 @@ func Run(cfg Config, tr *trace.Trace) (*Results, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			parts[g], events[g], errs[g] = runOneArray(cfg.arrayConfig(g, widths[g], faults[g]), sub)
+			ac := cfg.arrayConfig(g, widths[g], faults[g])
+			recs[g] = ac.Rec
+			parts[g], events[g], errs[g] = runOneArray(ac, sub)
 		}(g, sub)
 	}
 	wg.Wait()
@@ -370,7 +396,35 @@ func Run(cfg Config, tr *trace.Trace) (*Results, error) {
 			return nil, err
 		}
 	}
-	return merge(cfg, parts, events), nil
+	out := merge(cfg, parts, events)
+	attachObs(out, recs)
+	return out, nil
+}
+
+// attachObs folds the per-array recorders into the system results: one
+// merged Series (histograms merged bin-wise, so system quantiles are
+// exact w.r.t. the binning) and one chronological event trace annotated
+// with array indices.
+func attachObs(out *Results, recs []*obs.Recorder) {
+	for g, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		s := rec.Series()
+		if out.Series == nil {
+			out.Series = s
+		} else {
+			out.Series.Merge(s)
+		}
+		for _, e := range rec.Events() {
+			e.Array = g
+			out.ObsEvents = append(out.ObsEvents, e)
+		}
+		out.ObsEventsDropped += rec.EventsDropped()
+	}
+	sort.SliceStable(out.ObsEvents, func(i, j int) bool {
+		return out.ObsEvents[i].At < out.ObsEvents[j].At
+	})
 }
 
 func merge(cfg Config, parts []*array.Results, events []uint64) *Results {

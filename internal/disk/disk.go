@@ -87,6 +87,12 @@ type Stats struct {
 	Util         stats.Utilization
 }
 
+// Probe receives the drive's mechanism-busy intervals; package obs
+// implements it. A nil probe (the default) costs one branch per service.
+type Probe interface {
+	DiskBusy(id int, from, to sim.Time)
+}
+
 // Disk is a single simulated drive.
 type Disk struct {
 	ID   int
@@ -103,8 +109,14 @@ type Disk struct {
 	lookUp bool // LOOK sweep direction
 	queues [numPriorities][]*Request
 
+	probe     Probe
+	busySince sim.Time
+
 	S Stats
 }
+
+// SetProbe attaches an observability probe (nil detaches it).
+func (d *Disk) SetProbe(p Probe) { d.probe = p }
 
 // New returns an idle drive with its arm at cylinder 0 and the given
 // rotational phase in [0, 1). No spindle synchronization is assumed, so
@@ -223,6 +235,7 @@ func (d *Disk) trySchedule() {
 	}
 	d.busy = true
 	now := d.eng.Now()
+	d.busySince = now
 	d.S.Util.SetBusy(now)
 	d.S.QueueWait.Add(sim.Millis(now - r.enqueued))
 	if r.OnStart != nil {
@@ -385,6 +398,9 @@ func (d *Disk) requeue(r *Request) {
 	d.S.BlocksWritten -= int64(r.Blocks)
 	d.busy = false
 	d.S.Util.SetIdle(d.eng.Now())
+	if d.probe != nil {
+		d.probe.DiskBusy(d.ID, d.busySince, d.eng.Now())
+	}
 	if d.failed {
 		d.drop(r)
 		return
@@ -399,6 +415,9 @@ func (d *Disk) finish(r *Request, svcStart sim.Time) {
 	d.S.ServiceTime.Add(sim.Millis(now - svcStart))
 	d.busy = false
 	d.S.Util.SetIdle(now)
+	if d.probe != nil {
+		d.probe.DiskBusy(d.ID, d.busySince, now)
+	}
 	if r.OnDone != nil {
 		r.OnDone()
 	}

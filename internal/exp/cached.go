@@ -9,15 +9,24 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "fig11", Title: "Figure 11: hit ratios vs cache size (parity vs non-parity)", Run: fig11})
-	register(Experiment{ID: "fig12", Title: "Figure 12: response time vs cache size (cached orgs)", Run: fig12})
-	register(Experiment{ID: "fig13", Title: "Figure 13: array size, cached orgs, fixed total cache", Run: fig13})
-	register(Experiment{ID: "fig14", Title: "Figure 14: striping unit, cached RAID5", Run: fig14})
-	register(Experiment{ID: "fig15", Title: "Figure 15: hit ratios, RAID5 vs RAID4 parity caching", Run: fig15})
-	register(Experiment{ID: "fig16", Title: "Figure 16: response time vs cache size, RAID4 vs RAID5", Run: fig16})
-	register(Experiment{ID: "fig17", Title: "Figure 17: array size, RAID4 vs RAID5, fixed total cache", Run: fig17})
-	register(Experiment{ID: "fig18", Title: "Figure 18: trace speed, RAID4 vs RAID5", Run: fig18})
-	register(Experiment{ID: "fig19", Title: "Figure 19: striping unit, RAID4 vs RAID5", Run: fig19})
+	register(Experiment{ID: "fig11", Title: "Figure 11: hit ratios vs cache size (parity vs non-parity)", Figure: "Figure 11",
+		Knobs: "cache: 4..64 MB", Run: fig11})
+	register(Experiment{ID: "fig12", Title: "Figure 12: response time vs cache size (cached orgs)", Figure: "Figure 12",
+		Knobs: "org: base/mirror/raid5/pstripe cached; cache: 4..64 MB", Run: fig12})
+	register(Experiment{ID: "fig13", Title: "Figure 13: array size, cached orgs, fixed total cache", Figure: "Figure 13",
+		Knobs: "N: 4..32 at fixed total cache", Run: fig13})
+	register(Experiment{ID: "fig14", Title: "Figure 14: striping unit, cached RAID5", Figure: "Figure 14",
+		Knobs: "striping unit: 1..24 blocks, cached", Run: fig14})
+	register(Experiment{ID: "fig15", Title: "Figure 15: hit ratios, RAID5 vs RAID4 parity caching", Figure: "Figure 15",
+		Knobs: "cache: 4..64 MB; org: raid4/raid5", Run: fig15})
+	register(Experiment{ID: "fig16", Title: "Figure 16: response time vs cache size, RAID4 vs RAID5", Figure: "Figure 16",
+		Knobs: "cache: 4..64 MB; org: raid4/raid5", Run: fig16})
+	register(Experiment{ID: "fig17", Title: "Figure 17: array size, RAID4 vs RAID5, fixed total cache", Figure: "Figure 17",
+		Knobs: "N: 4..32 at fixed total cache; org: raid4/raid5", Run: fig17})
+	register(Experiment{ID: "fig18", Title: "Figure 18: trace speed, RAID4 vs RAID5", Figure: "Figure 18",
+		Knobs: "trace speed: 0.5x..2x; org: raid4/raid5", Run: fig18})
+	register(Experiment{ID: "fig19", Title: "Figure 19: striping unit, RAID4 vs RAID5", Figure: "Figure 19",
+		Knobs: "striping unit: 1..24 blocks; org: raid4/raid5", Run: fig19})
 }
 
 var cacheSizesMB = []int{8, 16, 32, 64, 128, 256}

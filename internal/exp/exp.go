@@ -15,9 +15,7 @@ import (
 
 	"raidsim/internal/array"
 	"raidsim/internal/core"
-	"raidsim/internal/geom"
-	"raidsim/internal/layout"
-	"raidsim/internal/sim"
+	"raidsim/internal/obs"
 	"raidsim/internal/trace"
 	"raidsim/internal/workload"
 )
@@ -37,6 +35,9 @@ type Options struct {
 	CSV bool
 	// Plot, when true, renders figures as ASCII charts above their tables.
 	Plot bool
+	// Obs threads an observability config into every BaseConfig, so any
+	// experiment can be run with windowed time series on.
+	Obs obs.Config
 }
 
 func (o *Options) fill() {
@@ -51,10 +52,18 @@ func (o *Options) fill() {
 	}
 }
 
-// Experiment is one reproducible artifact of the paper.
+// Experiment is one reproducible artifact of the paper, with a
+// descriptor rich enough for an annotated registry listing: which paper
+// figure or table it reproduces (or which extension it is), and the
+// knobs it sweeps.
 type Experiment struct {
 	ID    string
 	Title string
+	// Figure names the paper artifact this reproduces ("Figure 5",
+	// "Table 2"), or classifies the addition ("extension", "ablation").
+	Figure string
+	// Knobs summarizes the swept parameters and their ranges.
+	Knobs string
 	Run   func(ctx *Context) error
 }
 
@@ -123,22 +132,18 @@ func (ctx *Context) Trace(name string, speed float64) *trace.Trace {
 }
 
 // BaseConfig returns the paper's default configuration (Table 4) for a
-// workload: N = 10, 4 KB blocks, Disk First synchronization, 1-block
-// striping unit, middle-cylinder parity placement, 16 MB cache when
-// caching is on.
+// workload: the core defaults (N = 10, 4 KB blocks, Disk First
+// synchronization, 1-block striping unit, middle-cylinder parity
+// placement, 16 MB cache when caching is on) with the workload's disk
+// count, the run's seed, and the run's observability config.
 func (ctx *Context) BaseConfig(name string) core.Config {
 	p := ctx.profile[name]
 	return core.Config{
-		DataDisks:     p.NumDisks,
-		N:             10,
-		Spec:          geom.Default(),
-		StripingUnit:  1,
-		Placement:     layout.MiddlePlacement,
-		Sync:          array.DF,
-		CacheMB:       16,
-		DestagePeriod: sim.Second,
-		Seed:          ctx.opts.Seed + 1,
-	}
+		DataDisks: p.NumDisks,
+		Sync:      array.DF,
+		Seed:      ctx.opts.Seed + 1,
+		Obs:       ctx.opts.Obs,
+	}.Normalize()
 }
 
 // Render writes a renderable (Table or Figure) honoring the CSV option.

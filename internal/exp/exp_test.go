@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-destage", "ablate-pstripe", "ablate-sync-destage",
 		"ablate-sched", "ablate-spindles",
 		"ext-rebuild", "ext-mttdl", "ext-model", "ext-closedloop", "ext-taxonomy", "ext-paritylog",
-		"ext-raid10", "ext-latency",
+		"ext-raid10", "ext-latency", "ext-timeseries",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -43,6 +43,9 @@ func TestRegistryComplete(t *testing.T) {
 		seen[e.ID] = true
 		if e.Title == "" || e.Run == nil {
 			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if e.Figure == "" || e.Knobs == "" {
+			t.Errorf("experiment %q missing -list annotations (figure %q, knobs %q)", e.ID, e.Figure, e.Knobs)
 		}
 	}
 	if _, err := Get("nope"); err == nil {

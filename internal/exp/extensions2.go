@@ -14,10 +14,14 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "ext-model", Title: "Extension: analytic models vs simulation", Run: extModel})
-	register(Experiment{ID: "ext-closedloop", Title: "Extension: closed-loop throughput vs multiprogramming level", Run: extClosedLoop})
-	register(Experiment{ID: "ablate-sched", Title: "Ablation: drive queue discipline (FIFO/SSTF/LOOK)", Run: ablateSched})
-	register(Experiment{ID: "ablate-spindles", Title: "Ablation: spindle synchronization", Run: ablateSpindles})
+	register(Experiment{ID: "ext-model", Title: "Extension: analytic models vs simulation", Figure: "extension (section 4.2.3)",
+		Knobs: "model: zero-load analytic vs simulated; placement rule", Run: extModel})
+	register(Experiment{ID: "ext-closedloop", Title: "Extension: closed-loop throughput vs multiprogramming level", Figure: "extension",
+		Knobs: "MPL: 1..32; org: base/mirror/raid5/pstripe", Run: extClosedLoop})
+	register(Experiment{ID: "ablate-sched", Title: "Ablation: drive queue discipline (FIFO/SSTF/LOOK)", Figure: "ablation",
+		Knobs: "sched: fifo/sstf/look; trace speed", Run: ablateSched})
+	register(Experiment{ID: "ablate-spindles", Title: "Ablation: spindle synchronization", Figure: "ablation",
+		Knobs: "spindles: independent vs synchronized", Run: ablateSpindles})
 }
 
 // extModel compares the closed-form zero-load estimates (Gray et al.
@@ -200,7 +204,8 @@ func ablateSpindles(ctx *Context) error {
 }
 
 func init() {
-	register(Experiment{ID: "ext-taxonomy", Title: "Extension: RAID taxonomy under OLTP vs DSS load (Chen et al.)", Run: extTaxonomy})
+	register(Experiment{ID: "ext-taxonomy", Title: "Extension: RAID taxonomy under OLTP vs DSS load (Chen et al.)", Figure: "extension (related work)",
+		Knobs: "org: raid0/raid3/raid5/...; workload: OLTP vs DSS", Run: extTaxonomy})
 }
 
 // extTaxonomy compares the full organization taxonomy — including the
@@ -248,7 +253,8 @@ func extTaxonomy(ctx *Context) error {
 }
 
 func init() {
-	register(Experiment{ID: "ext-paritylog", Title: "Extension: parity logging vs RAID5 (Stodolsky et al.)", Run: extParityLog})
+	register(Experiment{ID: "ext-paritylog", Title: "Extension: parity logging vs RAID5 (Stodolsky et al.)", Figure: "extension (related work)",
+		Knobs: "org: plog vs raid5/mirror; log region size", Run: extParityLog})
 }
 
 // extParityLog compares the parity logging organization — parity-update

@@ -9,8 +9,10 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "ext-raid10", Title: "Extension: RAID1/0 striped mirror pairs vs Mirror and RAID5", Run: extRAID10})
-	register(Experiment{ID: "ext-latency", Title: "Extension: per-stage latency attribution across organizations", Run: extLatency})
+	register(Experiment{ID: "ext-raid10", Title: "Extension: RAID1/0 striped mirror pairs vs Mirror and RAID5", Figure: "extension",
+		Knobs: "org: raid10 vs mirror/raid5; striping unit", Run: extRAID10})
+	register(Experiment{ID: "ext-latency", Title: "Extension: per-stage latency attribution across organizations", Figure: "extension",
+		Knobs: "org: all; stage breakdown columns", Run: extLatency})
 }
 
 // extRAID10 evaluates the RAID1/0 extension — RAID0 striping over mirror

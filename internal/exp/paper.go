@@ -12,15 +12,24 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "table1", Title: "Table 1: disk and channel parameters", Run: table1})
-	register(Experiment{ID: "table2", Title: "Table 2: trace characteristics", Run: table2})
-	register(Experiment{ID: "fig4", Title: "Figure 4: synchronization policies vs array size", Run: fig4})
-	register(Experiment{ID: "fig5", Title: "Figure 5: response time vs array size (non-cached)", Run: fig5})
-	register(Experiment{ID: "fig6", Title: "Figure 6: per-disk accesses, Base (Trace 1)", Run: fig6})
-	register(Experiment{ID: "fig7", Title: "Figure 7: per-disk accesses, RAID5 (Trace 1)", Run: fig7})
-	register(Experiment{ID: "fig8", Title: "Figure 8: striping unit (non-cached RAID5)", Run: fig8})
-	register(Experiment{ID: "fig9", Title: "Figure 9: parity placement (Parity Striping)", Run: fig9})
-	register(Experiment{ID: "fig10", Title: "Figure 10: trace speed (non-cached)", Run: fig10})
+	register(Experiment{ID: "table1", Title: "Table 1: disk and channel parameters", Figure: "Table 1",
+		Knobs: "none (static model parameters)", Run: table1})
+	register(Experiment{ID: "table2", Title: "Table 2: trace characteristics", Figure: "Table 2",
+		Knobs: "trace: trace1, trace2", Run: table2})
+	register(Experiment{ID: "fig4", Title: "Figure 4: synchronization policies vs array size", Figure: "Figure 4",
+		Knobs: "sync: SI/RF/RF-PR/DF/DF-PR; N: 4..32", Run: fig4})
+	register(Experiment{ID: "fig5", Title: "Figure 5: response time vs array size (non-cached)", Figure: "Figure 5",
+		Knobs: "org: base/mirror/raid5/pstripe; N: 4..32", Run: fig5})
+	register(Experiment{ID: "fig6", Title: "Figure 6: per-disk accesses, Base (Trace 1)", Figure: "Figure 6",
+		Knobs: "per-disk histogram, Base", Run: fig6})
+	register(Experiment{ID: "fig7", Title: "Figure 7: per-disk accesses, RAID5 (Trace 1)", Figure: "Figure 7",
+		Knobs: "per-disk histogram, RAID5", Run: fig7})
+	register(Experiment{ID: "fig8", Title: "Figure 8: striping unit (non-cached RAID5)", Figure: "Figure 8",
+		Knobs: "striping unit: 1..24 blocks", Run: fig8})
+	register(Experiment{ID: "fig9", Title: "Figure 9: parity placement (Parity Striping)", Figure: "Figure 9",
+		Knobs: "placement: middle/end; N: 4..32", Run: fig9})
+	register(Experiment{ID: "fig10", Title: "Figure 10: trace speed (non-cached)", Figure: "Figure 10",
+		Knobs: "trace speed: 0.5x..2x", Run: fig10})
 }
 
 func table1(ctx *Context) error {

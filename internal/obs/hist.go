@@ -1,0 +1,103 @@
+package obs
+
+import "math"
+
+// Histogram is a log-bucketed latency histogram: geometric bins over
+// [histLo, ∞) milliseconds with a fixed growth ratio. Quantiles are read
+// back as the geometric midpoint of the target bin, so the relative error
+// of any quantile is bounded by half a bin: |est/true - 1| <= sqrt(g) - 1
+// (about 3.9% at the 1.08 growth used here). The exact max and sum are
+// tracked separately, so Max() and Mean() carry no binning error.
+type Histogram struct {
+	counts [histBins]int64
+	n      int64
+	sum    float64
+	max    float64
+}
+
+const (
+	histBins   = 256
+	histLo     = 1e-3 // smallest resolved latency, ms
+	histGrowth = 1.08 // bin growth ratio; 256 bins reach ~3e5 ms
+)
+
+var histLogGrowth = math.Log(histGrowth)
+
+func histBin(x float64) int {
+	if x <= histLo {
+		return 0
+	}
+	b := int(math.Log(x/histLo) / histLogGrowth)
+	if b >= histBins {
+		b = histBins - 1
+	}
+	return b
+}
+
+// binMid returns the geometric midpoint of bin b.
+func binMid(b int) float64 {
+	return histLo * math.Pow(histGrowth, float64(b)+0.5)
+}
+
+// Add records one latency sample in milliseconds.
+func (h *Histogram) Add(ms float64) {
+	h.counts[histBin(ms)]++
+	h.n++
+	h.sum += ms
+	if ms > h.max {
+		h.max = ms
+	}
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the exact sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the exact largest sample.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the geometric midpoint
+// of the bin holding the target rank, clamped to the observed max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	if target >= h.n {
+		return h.max
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := binMid(b)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}

@@ -1,0 +1,275 @@
+// Package obs is the simulator's windowed time-series observability
+// layer. A Recorder receives probe emissions from the sim engine, the
+// disks, the array front-ends, the cache destage process, and the
+// fault/rebuild machinery, and folds them into fixed-width time windows:
+// log-bucketed latency histograms (p50/p95/p99/max per window),
+// throughput, per-disk utilization, queue depth, cache dirty fraction,
+// degraded-mode occupancy, and rebuild traffic — the transient phenomena
+// the steady-state means of the paper's figures collapse away. An
+// optional bounded ring buffer keeps an event trace for JSONL export.
+//
+// A nil *Recorder is the off switch: every method nil-checks its
+// receiver and returns, so instrumented hot paths cost one predictable
+// branch when observability is disabled and simulation results stay
+// bit-identical.
+package obs
+
+import (
+	"fmt"
+
+	"raidsim/internal/sim"
+)
+
+// Config sizes a Recorder.
+type Config struct {
+	// Window is the time-series window width; <= 0 means DefaultWindow.
+	Window sim.Time
+	// Disks is the number of drives whose utilization is tracked.
+	Disks int
+	// TraceCap bounds the event ring buffer; 0 disables the event trace.
+	TraceCap int
+}
+
+// DefaultWindow is the window width when Config.Window is unset.
+const DefaultWindow = sim.Second
+
+// Enabled reports whether this config asks for observability at all.
+func (c Config) Enabled() bool { return c.Window > 0 || c.TraceCap > 0 }
+
+// maxWindows caps the window slice so a runaway clock cannot exhaust
+// memory (each window embeds a ~2 KB histogram); past the cap, samples
+// fold into the last window. 64 Ki windows is 18 hours at a 1 s window.
+const maxWindows = 1 << 16
+
+// window accumulates one fixed-width interval of activity.
+type window struct {
+	hist     Histogram  // response-time samples completing in the window, ms
+	reads    int64      // read requests completed
+	writes   int64      // write requests completed
+	busy     []sim.Time // per-disk mechanism busy time inside the window
+	queueSum int64      // sampled queue depths (sum over samples)
+	queueN   int64
+	dirtySum float64 // sampled cache dirty fraction
+	dirtyN   int64
+	destages int64 // destage batches issued
+	destaged int64 // blocks written back by destage batches
+	rebuild  int64 // blocks moved by rebuild sweeps
+	degraded sim.Time
+	steps    uint64 // engine events executed in the window
+}
+
+// Recorder folds probe emissions into time windows. It is single-
+// goroutine, like the engine that drives it; independent arrays each get
+// their own Recorder and their Series are merged afterwards.
+type Recorder struct {
+	cfg  Config
+	win  sim.Time
+	wins []*window
+	ring *ring
+
+	end       sim.Time // latest timestamp observed
+	lastSteps uint64
+
+	degradedOn    bool
+	degradedSince sim.Time
+}
+
+// NewRecorder returns a Recorder for the config. The zero-window config
+// gets DefaultWindow.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	r := &Recorder{cfg: cfg, win: cfg.Window}
+	if cfg.TraceCap > 0 {
+		r.ring = newRing(cfg.TraceCap)
+	}
+	return r
+}
+
+// Window returns the window width (DefaultWindow if the recorder is nil,
+// so callers can size samplers without a guard).
+func (r *Recorder) Window() sim.Time {
+	if r == nil {
+		return DefaultWindow
+	}
+	return r.win
+}
+
+func (r *Recorder) observe(t sim.Time) {
+	if t > r.end {
+		r.end = t
+	}
+}
+
+// at returns the window containing time t, growing the slice as needed.
+func (r *Recorder) at(t sim.Time) *window {
+	idx := int(t / r.win)
+	if idx >= maxWindows {
+		idx = maxWindows - 1
+	}
+	for len(r.wins) <= idx {
+		r.wins = append(r.wins, &window{busy: make([]sim.Time, r.cfg.Disks)})
+	}
+	return r.wins[idx]
+}
+
+// Request records a completed logical request: its completion time,
+// direction, and response in milliseconds.
+func (r *Recorder) Request(at sim.Time, write bool, ms float64) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	w := r.at(at)
+	w.hist.Add(ms)
+	if write {
+		w.writes++
+	} else {
+		w.reads++
+	}
+	if r.ring != nil {
+		r.ring.append(Event{At: at, Kind: EvRequest, MS: ms, Write: write})
+	}
+}
+
+// DiskBusy attributes one drive's mechanism-busy interval [from, to) to
+// the windows it overlaps. Implements disk.Probe.
+func (r *Recorder) DiskBusy(id int, from, to sim.Time) {
+	if r == nil || to <= from || id < 0 || id >= r.cfg.Disks {
+		return
+	}
+	r.observe(to)
+	for from < to {
+		idx := from / r.win
+		wend := (idx + 1) * r.win
+		seg := to - from
+		if wend < to {
+			seg = wend - from
+		}
+		r.at(from).busy[id] += seg
+		from += seg
+	}
+}
+
+// Sample records one uniform-in-time snapshot: the total queued requests
+// across the array's drives, the cache dirty fraction (0 when uncached),
+// and the engine's cumulative executed-event count.
+func (r *Recorder) Sample(at sim.Time, queueDepth int, dirtyFrac float64, steps uint64) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	w := r.at(at)
+	w.queueSum += int64(queueDepth)
+	w.queueN++
+	w.dirtySum += dirtyFrac
+	w.dirtyN++
+	if steps >= r.lastSteps {
+		w.steps += steps - r.lastSteps
+		r.lastSteps = steps
+	}
+}
+
+// Destage records one periodic destage batch of the given block count.
+func (r *Recorder) Destage(at sim.Time, blocks int) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	w := r.at(at)
+	w.destages++
+	w.destaged += int64(blocks)
+	if r.ring != nil {
+		r.ring.append(Event{At: at, Kind: EvDestage, Blocks: blocks})
+	}
+}
+
+// RebuildIO records one rebuild sweep chunk of the given block count.
+func (r *Recorder) RebuildIO(at sim.Time, blocks int) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	r.at(at).rebuild += int64(blocks)
+}
+
+// Degraded records the array entering or leaving degraded mode; the time
+// between transitions is attributed to the overlapped windows.
+func (r *Recorder) Degraded(at sim.Time, on bool) {
+	if r == nil || on == r.degradedOn {
+		return
+	}
+	r.observe(at)
+	if on {
+		r.degradedOn, r.degradedSince = true, at
+		return
+	}
+	r.degradedOn = false
+	r.addDegraded(r.degradedSince, at)
+}
+
+func (r *Recorder) addDegraded(from, to sim.Time) {
+	for from < to {
+		idx := from / r.win
+		wend := (idx + 1) * r.win
+		seg := to - from
+		if wend < to {
+			seg = wend - from
+		}
+		r.at(from).degraded += seg
+		from += seg
+	}
+}
+
+// Note appends an event to the ring trace (no-op without a trace buffer).
+func (r *Recorder) Note(e Event) {
+	if r == nil {
+		return
+	}
+	r.observe(e.At)
+	if r.ring != nil {
+		r.ring.append(e)
+	}
+}
+
+// Events returns the retained event trace in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil || r.ring == nil {
+		return nil
+	}
+	return r.ring.events()
+}
+
+// EventsDropped returns how many events the bounded ring overwrote.
+func (r *Recorder) EventsDropped() int64 {
+	if r == nil || r.ring == nil {
+		return 0
+	}
+	return r.ring.dropped
+}
+
+// Series snapshots the recorder into a mergeable, renderable time series.
+// The open degraded interval (a rebuild still running at snapshot time)
+// is closed at the latest observed timestamp.
+func (r *Recorder) Series() *Series {
+	if r == nil {
+		return nil
+	}
+	if r.degradedOn {
+		r.addDegraded(r.degradedSince, r.end)
+		r.degradedSince = r.end
+	}
+	s := &Series{Window: r.win, Disks: r.cfg.Disks, End: r.end}
+	s.wins = make([]*window, len(r.wins))
+	for i, w := range r.wins {
+		cp := *w
+		cp.busy = append([]sim.Time(nil), w.busy...)
+		s.wins[i] = &cp
+	}
+	return s
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("obs{window=%v disks=%d trace=%d}", c.Window, c.Disks, c.TraceCap)
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+
+	"raidsim/internal/obs"
+	"raidsim/internal/sim"
+)
+
+// SeriesTable renders a windowed time series as a table, one row per
+// window — the transient view (latency quantiles, utilization, destage
+// and rebuild traffic over time) that the steady-state tables collapse.
+func SeriesTable(title string, s *obs.Series) *Table {
+	t := &Table{
+		Title: title,
+		Columns: []string{
+			"t (s)", "req", "rps", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms",
+			"util", "queue", "dirty", "destg blk", "rebuild blk", "degraded",
+		},
+	}
+	for _, p := range s.Points() {
+		degr := "-"
+		if p.Degraded {
+			degr = fmt.Sprintf("%.0f%%", p.DegradedFrac*100)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.1f", float64(p.Start)/float64(sim.Second)),
+			fmt.Sprintf("%d", p.Requests),
+			fmt.Sprintf("%.1f", p.ThroughputRPS),
+			fmt.Sprintf("%.2f", p.MeanMS),
+			fmt.Sprintf("%.2f", p.P50MS),
+			fmt.Sprintf("%.2f", p.P95MS),
+			fmt.Sprintf("%.2f", p.P99MS),
+			fmt.Sprintf("%.2f", p.MaxMS),
+			fmt.Sprintf("%.3f", p.UtilMean),
+			fmt.Sprintf("%.1f", p.QueueMean),
+			fmt.Sprintf("%.3f", p.DirtyFrac),
+			fmt.Sprintf("%d", p.DestagedBlocks),
+			fmt.Sprintf("%d", p.RebuildBlocks),
+			degr,
+		)
+	}
+	return t
+}
+
+// seriesMaxTicks bounds the x-axis of a series figure so the ASCII chart
+// stays terminal-width; longer series aggregate several windows per tick.
+const seriesMaxTicks = 16
+
+// SeriesFigure plots response time over simulated time: the per-window
+// mean plus the p95/p99 tail. When the series is longer than
+// seriesMaxTicks windows, each tick aggregates a group of windows —
+// the mean request-weighted, the percentiles as the group's worst
+// window, so transient spikes survive the downsampling.
+func SeriesFigure(title string, s *obs.Series) *Figure {
+	pts := s.Points()
+	f := &Figure{Title: title, XLabel: "t (s)", YLabel: "response (ms)"}
+	if len(pts) == 0 {
+		return f
+	}
+	stride := (len(pts) + seriesMaxTicks - 1) / seriesMaxTicks
+	var mean, p95, p99 []float64
+	for i := 0; i < len(pts); i += stride {
+		var mSum float64
+		var n int64
+		var worst95, worst99 float64
+		for j := i; j < len(pts) && j < i+stride; j++ {
+			p := pts[j]
+			mSum += p.MeanMS * float64(p.Requests)
+			n += p.Requests
+			if p.P95MS > worst95 {
+				worst95 = p.P95MS
+			}
+			if p.P99MS > worst99 {
+				worst99 = p.P99MS
+			}
+		}
+		m := 0.0
+		if n > 0 {
+			m = mSum / float64(n)
+		}
+		f.XTicks = append(f.XTicks, fmt.Sprintf("%.0f", float64(pts[i].Start)/float64(sim.Second)))
+		mean = append(mean, m)
+		p95 = append(p95, worst95)
+		p99 = append(p99, worst99)
+	}
+	f.Add("mean", mean...)
+	f.Add("p95", p95...)
+	f.Add("p99", p99...)
+	if stride > 1 {
+		f.AddNote("each point aggregates %d windows of %.1f s; percentiles show the worst window", stride, float64(s.Window)/float64(sim.Second))
+	}
+	return f
+}
