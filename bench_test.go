@@ -290,8 +290,9 @@ func BenchmarkExtRAID3(b *testing.B) {
 // organization with a mixed 30%-write workload, one request per
 // iteration (benchstat-friendly: compare runs with
 // `benchstat old.txt new.txt`). The *Obs variants run the same work with
-// a windowed observability recorder armed; their gap to the plain run is
-// the recorder's overhead budget (≤5%). Baselines live in
+// a windowed observability recorder armed; the *Spans variants
+// additionally arm the per-request span tracer. Each gap to the matching
+// plain/Obs run is that layer's overhead budget (≤5%). Baselines live in
 // BENCH_array.json.
 func BenchmarkArraySubmit(b *testing.B) {
 	points := []struct {
@@ -299,23 +300,30 @@ func BenchmarkArraySubmit(b *testing.B) {
 		org    array.Org
 		cached bool
 		obs    bool
+		spans  bool
 	}{
-		{"base", array.OrgBase, false, false},
-		{"mirror", array.OrgMirror, false, false},
-		{"raid10", array.OrgRAID10, false, false},
-		{"raid5", array.OrgRAID5, false, false},
-		{"pstripe", array.OrgParityStriping, false, false},
-		{"raid5cached", array.OrgRAID5, true, false},
-		{"raid4cached", array.OrgRAID4, true, false},
-		{"raid5Obs", array.OrgRAID5, false, true},
-		{"raid5cachedObs", array.OrgRAID5, true, true},
+		{"base", array.OrgBase, false, false, false},
+		{"mirror", array.OrgMirror, false, false, false},
+		{"raid10", array.OrgRAID10, false, false, false},
+		{"raid5", array.OrgRAID5, false, false, false},
+		{"pstripe", array.OrgParityStriping, false, false, false},
+		{"raid5cached", array.OrgRAID5, true, false, false},
+		{"raid4cached", array.OrgRAID4, true, false, false},
+		{"raid5Obs", array.OrgRAID5, false, true, false},
+		{"raid5cachedObs", array.OrgRAID5, true, true, false},
+		{"raid5Spans", array.OrgRAID5, false, true, true},
+		{"raid5cachedSpans", array.OrgRAID5, true, true, true},
 	}
 	for _, p := range points {
 		b.Run(p.name, func(b *testing.B) {
 			eng := sim.New()
 			var rec *obs.Recorder
 			if p.obs {
-				rec = obs.NewRecorder(obs.Config{Window: sim.Second, Disks: 24})
+				oc := obs.Config{Window: sim.Second, Disks: 24}
+				if p.spans {
+					oc.SpanTopK = 8
+				}
+				rec = obs.NewRecorder(oc)
 			}
 			ctrl, err := array.New(eng, array.Config{
 				Org: p.org, N: 10, Spec: geom.Default(), Sync: array.DF,

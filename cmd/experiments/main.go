@@ -38,6 +38,8 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress progress messages on stderr")
 		obsWindow = flag.Duration("obs-window", 0, "record windowed time series at this granularity in every run (0 = off)")
 		obsTrace  = flag.Int("obs-trace", 0, "retain up to this many observability events per run (0 = off)")
+		traceTopK = flag.Int("trace-topk", 0, "trace per-request span trees in every run, keeping the slowest K per class (0 = off)")
+		httpAddr  = flag.String("http", "", "serve live /metrics (Prometheus text) and /debug/pprof on this address while experiments run")
 	)
 	prof := cliflag.BindProfile(flag.CommandLine)
 	flag.Parse()
@@ -78,6 +80,21 @@ func main() {
 		fatal(fmt.Errorf("nothing to do: pass -list, -exp <ids> or -all"))
 	}
 
+	var live *obs.Live
+	if *httpAddr != "" {
+		live = obs.NewLive()
+		srv, err := obs.Serve(*httpAddr, live)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr)
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+
 	mkCtx := func(out *os.File) *exp.Context {
 		return exp.NewContext(exp.Options{
 			Scale:  *scale,
@@ -86,7 +103,7 @@ func main() {
 			Out:    out,
 			CSV:    *csv,
 			Plot:   *plot,
-			Obs:    obs.Config{Window: sim.Time(*obsWindow), TraceCap: *obsTrace},
+			Obs:    obs.Config{Window: sim.Time(*obsWindow), TraceCap: *obsTrace, SpanTopK: *traceTopK, Live: live},
 		})
 	}
 	var ctx *exp.Context

@@ -9,12 +9,15 @@
 //	raidsim -profile trace1 -scale 0.05 -org raid4 -cached -cache-mb 32
 //	raidsim -trace t.bin -org pstripe -placement end -sync rfpr
 //	raidsim -profile trace2 -org raid5 -obs-window 1s -obs-trace 256 -obs-jsonl events.jsonl
+//	raidsim -profile trace2 -org raid5 -cached -trace-spans spans.json -http :8080
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"raidsim/internal/array"
 	"raidsim/internal/cliflag"
@@ -42,6 +45,10 @@ func main() {
 
 		obsCSV   = flag.String("obs-csv", "", "write the windowed time series to this CSV file")
 		obsJSONL = flag.String("obs-jsonl", "", "write the retained observability events to this JSONL file")
+
+		traceSpans = flag.String("trace-spans", "", "export retained span trees to this file (.csv = flat CSV, otherwise Chrome trace-event JSON for Perfetto)")
+		httpAddr   = flag.String("http", "", "serve live /metrics (Prometheus text) and /debug/pprof on this address during the run (e.g. :8080)")
+		httpHold   = flag.Duration("http-hold", 0, "keep the -http server (and process) alive this long after the run completes")
 	)
 	bind := cliflag.Bind(flag.CommandLine)
 	prof := cliflag.BindProfile(flag.CommandLine)
@@ -50,6 +57,30 @@ func main() {
 	cfg, err := bind.Config()
 	if err != nil {
 		fatal(err)
+	}
+	// -trace-spans implies the tracer; default to the slowest 8 per class
+	// unless -trace-topk chose a depth.
+	if *traceSpans != "" && cfg.Obs.SpanTopK == 0 {
+		cfg.Obs.SpanTopK = 8
+	}
+	var httpSrv *obs.Server
+	if *httpAddr != "" {
+		live := obs.NewLive()
+		cfg.Obs.Live = live
+		httpSrv, err = obs.Serve(*httpAddr, live)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", httpSrv.Addr)
+		defer func() {
+			if *httpHold > 0 {
+				fmt.Printf("holding -http server for %v\n", *httpHold)
+				time.Sleep(*httpHold)
+			}
+			if err := httpSrv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "raidsim:", err)
+			}
+		}()
 	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
@@ -88,6 +119,7 @@ func main() {
 		fmt.Printf("closed loop: MPL=%d throughput %.1f req/s (makespan %.1fs)\n",
 			*mpl, res.Throughput(), float64(res.Makespan)/float64(sim.Second))
 		printObs(&res.Results, *obsCSV, *obsJSONL)
+		printSpans(&res.Results, *traceSpans)
 		return
 	}
 	res, err := core.Run(cfg, tr)
@@ -96,6 +128,41 @@ func main() {
 	}
 	printResults(cfg, tr, res, *perDisk)
 	printObs(res, *obsCSV, *obsJSONL)
+	printSpans(res, *traceSpans)
+}
+
+// printSpans renders the tail-anatomy table and exports the retained span
+// trees (tail requests plus background activity) as Chrome trace-event
+// JSON — loadable in Perfetto / chrome://tracing — or flat CSV when the
+// path ends in .csv.
+func printSpans(res *core.Results, path string) {
+	if len(res.TailSpans) == 0 && len(res.BgSpans) == 0 {
+		return
+	}
+	if err := report.TailTable("tail anatomy: slowest requests per class", res.TailSpans).Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if path == "" {
+		return
+	}
+	samples := append(append([]obs.SpanSample(nil), res.TailSpans...), res.BgSpans...)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = obs.WriteSpansCSV(f, samples)
+	} else {
+		err = obs.WriteSpansChrome(f, samples)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("span trace: %d request + %d background trees -> %s (%d background trees dropped)\n\n",
+		len(res.TailSpans), len(res.BgSpans), path, res.SpanTreesDropped)
 }
 
 // printObs renders the windowed time series (table + ASCII plot) and

@@ -7,6 +7,7 @@
 //	tracestat t1.bin
 //	tracestat -per-disk t2.txt
 //	tracestat -profile trace1 -scale 0.1
+//	tracestat -spans spans.json
 package main
 
 import (
@@ -25,8 +26,17 @@ func main() {
 		perDisk  = flag.Bool("per-disk", false, "print the per-disk access histogram")
 		analyze  = flag.Bool("analyze", false, "print arrival/locality/spatial analysis")
 		hitCurve = flag.Bool("hit-curve", false, "print the predicted hit-ratio curve from stack distances")
+		spans    = flag.Bool("spans", false, "analyze a span export from raidsim -trace-spans (Chrome JSON, or CSV by .csv suffix)")
 	)
 	flag.Parse()
+
+	if *spans {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: tracestat -spans <spans.json|spans.csv>"))
+		}
+		runSpans(flag.Arg(0))
+		return
+	}
 
 	var tr *trace.Trace
 	var err error

@@ -6,6 +6,7 @@ package raidsim_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -272,7 +273,7 @@ func TestObservabilityEquivalence(t *testing.T) {
 			Spec: geom.Default(), Sync: tc.sync,
 			Cached: tc.cached, CacheMB: 8, Seed: 9,
 			Placement: layout.EndPlacement,
-			Obs:       obs.Config{Window: 10 * sim.Second, TraceCap: 64},
+			Obs:       obs.Config{Window: 10 * sim.Second, TraceCap: 64, SpanTopK: 4},
 		}
 		if tc.faulted {
 			cfg.Spares = 1
@@ -306,6 +307,76 @@ func TestObservabilityEquivalence(t *testing.T) {
 		}
 		if tc.faulted && len(res.ObsEvents) == 0 {
 			t.Errorf("%s: faulted run retained no observability events", tc.name)
+		}
+		if len(res.TailSpans) == 0 {
+			t.Errorf("%s: span tracer armed but no tail samples retained", tc.name)
+		}
+		for _, s := range res.TailSpans {
+			if s.Tree.Duration() <= 0 {
+				t.Errorf("%s: retained tree with non-positive duration", tc.name)
+			}
+		}
+	}
+}
+
+// TestSpanExportPerfetto runs a cached RAID5 with a mid-run disk failure
+// and a hot spare, tracer armed, and checks the Chrome trace-event export
+// is valid JSON carrying the spans the issue calls out: parity RMW legs
+// on the write path and rebuild activity from the spare reconstruction.
+func TestSpanExportPerfetto(t *testing.T) {
+	p := smallProfile()
+	p.Requests = 4000
+	p.Duration = 240 * sim.Second
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Org: array.OrgRAID5, DataDisks: 10, N: 5,
+		Spec: geom.Default(), Sync: array.DF,
+		Cached: true, CacheMB: 8, Seed: 9,
+		Placement: layout.EndPlacement,
+		Spares:    1,
+		Fault: fault.Config{
+			DiskFails: []fault.DiskFail{{Disk: 1, At: 30 * sim.Second}},
+		},
+		Obs: obs.Config{Window: 10 * sim.Second, SpanTopK: 8},
+	}
+	res, err := core.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := append(append([]obs.SpanSample(nil), res.TailSpans...), res.BgSpans...)
+	if len(samples) == 0 {
+		t.Fatal("no span samples retained")
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteSpansChrome(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Events []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if doc.Schema != obs.SpanSchemaVersion {
+		t.Fatalf("schema %q, want %q", doc.Schema, obs.SpanSchemaVersion)
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.Events {
+		if e.Ph == "X" {
+			seen[e.Name] = true
+		}
+	}
+	for _, want := range []string{"rmw-parity", "rebuild", "rebuild-chunk", "destage", obs.SpanQueue, obs.SpanReadOld} {
+		if !seen[want] {
+			t.Errorf("export has no %q span; span names seen: %v", want, seen)
 		}
 	}
 }

@@ -464,7 +464,8 @@ type common struct {
 	disks []*disk.Disk
 	ch    *bus.Channel
 	buf   *bus.BufferPool
-	sch   scheme // nil for the legacy RAID3/parity-log monoliths
+	sch   scheme      // nil for the legacy RAID3/parity-log monoliths
+	tr    *obs.Tracer // nil when span tracing is off
 
 	requests               int64
 	inflight               int64
@@ -517,7 +518,9 @@ func newCommon(eng *sim.Engine, cfg Config, ndisks int) (*common, error) {
 	}
 	c.fs.failed = make([]bool, ndisks)
 	c.fs.rebuilding = make([]bool, ndisks)
+	c.fs.rbSpan = make([]*obs.Span, ndisks)
 	c.fs.spares = cfg.Spares
+	c.tr = cfg.Rec.Tracer()
 	c.armObs()
 	return c, nil
 }
@@ -552,13 +555,17 @@ func (c *common) armObs() {
 	})
 }
 
-func (c *common) begin() sim.Time {
+// begin opens a request: counters, and — when tracing — the root span of
+// its trace tree, which every layer below threads through to its device
+// operations.
+func (c *common) begin(write bool) (sim.Time, *obs.Span) {
 	c.requests++
 	c.inflight++
-	return c.eng.Now()
+	now := c.eng.Now()
+	return now, c.tr.Start(now, write)
 }
 
-func (c *common) finish(r Request, start sim.Time) {
+func (c *common) finish(r Request, start sim.Time, sp *obs.Span) {
 	if rec := c.cfg.Rec; rec != nil {
 		// The recorder sees every completion (warmup included): the time
 		// series exists to show transients, not steady state.
@@ -578,6 +585,7 @@ func (c *common) finish(r Request, start sim.Time) {
 			c.normResp.Add(ms)
 		}
 	}
+	c.tr.Finish(sp, c.eng.Now(), c.fs.degraded.Active())
 	c.inflight--
 	if r.OnComplete != nil {
 		r.OnComplete()
@@ -590,6 +598,20 @@ func (c *common) Drained() bool { return c.inflight == 0 }
 // chanXfer moves n blocks over the array channel.
 func (c *common) chanXfer(n int, onDone func()) {
 	c.ch.Transfer(int64(n)*int64(c.cfg.Spec.BlockBytes), onDone)
+}
+
+// chanXferSpan is chanXfer with a "channel" child span under sp. The nil
+// guard keeps the untraced path free of the extra closure.
+func (c *common) chanXferSpan(n int, sp *obs.Span, onDone func()) {
+	if sp == nil {
+		c.chanXfer(n, onDone)
+		return
+	}
+	ch := sp.Child(obs.SpanChannel, c.eng.Now())
+	c.chanXfer(n, func() {
+		ch.CloseAt(c.eng.Now())
+		onDone()
+	})
 }
 
 func (c *common) baseResults(org Org) *Results {

@@ -56,13 +56,14 @@ func (cc *cachedCtrl) hasOld(l int64) bool {
 // write, with the epoch-guarded destage-completion bookkeeping wrapped
 // around the scheme's completion. spread distributes the issues over a
 // window to limit interference.
-func (cc *cachedCtrl) writeBackMarked(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
+func (cc *cachedCtrl) writeBackMarked(lbas []int64, pri disk.Priority, spread sim.Time, sp *obs.Span, onDone func()) {
 	ep := cc.epoch
 	cc.s.write(writeOp{
 		lbas:   lbas,
 		pri:    pri,
 		spread: spread,
 		hasOld: cc.hasOld,
+		span:   sp,
 		onDone: func() {
 			if cc.epoch == ep {
 				for _, l := range lbas {
@@ -75,11 +76,11 @@ func (cc *cachedCtrl) writeBackMarked(lbas []int64, pri disk.Priority, spread si
 }
 
 // writeBack marks the blocks as destaging and persists them.
-func (cc *cachedCtrl) writeBack(lbas []int64, pri disk.Priority, spread sim.Time, onDone func()) {
+func (cc *cachedCtrl) writeBack(lbas []int64, pri disk.Priority, spread sim.Time, sp *obs.Span, onDone func()) {
 	for _, l := range lbas {
 		cc.c.BeginDestage(l)
 	}
-	cc.writeBackMarked(lbas, pri, spread, onDone)
+	cc.writeBackMarked(lbas, pri, spread, sp, onDone)
 }
 
 func (cc *cachedCtrl) initDestage() {
@@ -146,14 +147,26 @@ func (cc *cachedCtrl) destageTick() {
 		}
 		// Destage accesses run at normal priority — the paper limits
 		// their interference by scheduling them progressively (the
-		// stagger), not by preempting them.
+		// stagger), not by preempting them. Each chunk is its own
+		// background trace tree, linking the destage to the cache writes
+		// that dirtied it by LBA.
+		issue := func() {
+			var root *obs.Span
+			if cc.tr != nil {
+				root = cc.tr.StartBackground("destage", cc.eng.Now())
+				root.SetBlocks(len(chunk))
+			}
+			cc.writeBackMarked(chunk, disk.PriNormal, gap, root, func() {
+				if root != nil {
+					cc.tr.FinishBackground(root, cc.eng.Now())
+				}
+			})
+		}
 		if i == 0 {
-			cc.writeBackMarked(chunk, disk.PriNormal, gap, func() {})
+			issue()
 			continue
 		}
-		cc.eng.After(gap*sim.Time(i), func() {
-			cc.writeBackMarked(chunk, disk.PriNormal, gap, func() {})
-		})
+		cc.eng.After(gap*sim.Time(i), issue)
 	}
 }
 
@@ -161,31 +174,39 @@ func (cc *cachedCtrl) destageTick() {
 // fn. Clean victims are dropped; a dirty victim must first be written to
 // disk — the cost the destage process exists to make rare. Time spent
 // here is the cache-destage stall of the latency breakdown.
-func (cc *cachedCtrl) makeRoom(want int, fn func()) {
+func (cc *cachedCtrl) makeRoom(want int, sp *obs.Span, fn func()) {
 	t0 := cc.eng.Now()
-	cc.makeRoomFrom(want, t0, fn)
+	cc.makeRoomFrom(want, t0, sp, fn)
 }
 
-func (cc *cachedCtrl) makeRoomFrom(want int, t0 sim.Time, fn func()) {
+func (cc *cachedCtrl) makeRoomFrom(want int, t0 sim.Time, sp *obs.Span, fn func()) {
 	for cc.c.FreeSlots() < want {
 		v := cc.c.Victim()
 		if v == nil {
 			// Everything is mid-destage; retry shortly.
-			cc.eng.After(sim.Millisecond, func() { cc.makeRoomFrom(want, t0, fn) })
+			cc.eng.After(sim.Millisecond, func() { cc.makeRoomFrom(want, t0, sp, fn) })
 			return
 		}
 		if v.Dirty {
 			lba := v.LBA
 			cc.c.NoteDirtyEviction()
-			cc.writeBack([]int64{lba}, disk.PriNormal, 0, func() {
+			var ev *obs.Span
+			if sp != nil {
+				ev = sp.Child("evict-write", cc.eng.Now())
+			}
+			cc.writeBack([]int64{lba}, disk.PriNormal, 0, ev, func() {
+				ev.CloseAt(cc.eng.Now())
 				if e := cc.c.Lookup(lba); e != nil && !e.Dirty && !e.Destaging {
 					cc.c.Drop(lba)
 				}
-				cc.makeRoomFrom(want, t0, fn)
+				cc.makeRoomFrom(want, t0, sp, fn)
 			})
 			return
 		}
 		cc.c.Drop(v.LBA)
+	}
+	if now := cc.eng.Now(); now > t0 {
+		sp.ChildSpan(obs.SpanStall, t0, now)
 	}
 	cc.stages.DestageStallMS += sim.Millis(cc.eng.Now() - t0)
 	fn()
@@ -194,18 +215,18 @@ func (cc *cachedCtrl) makeRoomFrom(want int, t0 sim.Time, fn func()) {
 // Submit implements Controller.
 func (cc *cachedCtrl) Submit(r Request) {
 	cc.checkRequest(r, cc.s.dataBlocks())
-	start := cc.begin()
+	start, sp := cc.begin(r.Op != trace.Read)
 	if r.Op == trace.Read {
-		cc.read(r, start)
+		cc.read(r, start, sp)
 	} else {
-		cc.write(r, start)
+		cc.write(r, start, sp)
 	}
 }
 
 // read serves hits from the cache (channel time only) and fetches misses
 // from disk. A multiblock request counts as a hit only when every block
 // is cached.
-func (cc *cachedCtrl) read(r Request, start sim.Time) {
+func (cc *cachedCtrl) read(r Request, start sim.Time, sp *obs.Span) {
 	var missing []int64
 	for i := 0; i < r.Blocks; i++ {
 		l := r.LBA + int64(i)
@@ -218,13 +239,13 @@ func (cc *cachedCtrl) read(r Request, start sim.Time) {
 		if measured {
 			cc.readHits++
 		}
-		cc.chanXfer(r.Blocks, func() { cc.finish(r, start) })
+		cc.chanXferSpan(r.Blocks, sp, func() { cc.finish(r, start, sp) })
 		return
 	}
 	if measured {
 		cc.readMisses++
 	}
-	cc.makeRoom(len(missing), func() {
+	cc.makeRoom(len(missing), sp, func() {
 		// A concurrent miss may have inserted some blocks meanwhile.
 		fetch := missing[:0]
 		for _, l := range missing {
@@ -234,18 +255,18 @@ func (cc *cachedCtrl) read(r Request, start sim.Time) {
 			}
 		}
 		if len(fetch) == 0 {
-			cc.chanXfer(r.Blocks, func() { cc.finish(r, start) })
+			cc.chanXferSpan(r.Blocks, sp, func() { cc.finish(r, start, sp) })
 			return
 		}
 		runs := cc.s.fetchRuns(fetch)
-		cc.readRuns(runs, r.Blocks, func() { cc.finish(r, start) })
+		cc.readRuns(runs, r.Blocks, sp, func() { cc.finish(r, start, sp) })
 	})
 }
 
 // write lands the data in the NV cache: channel transfer, then per-block
 // bookkeeping. The response completes without touching a disk unless a
 // dirty block must be evicted to make room.
-func (cc *cachedCtrl) write(r Request, start sim.Time) {
+func (cc *cachedCtrl) write(r Request, start sim.Time, sp *obs.Span) {
 	allHit := true
 	for i := 0; i < r.Blocks; i++ {
 		if !cc.c.Contains(r.LBA + int64(i)) {
@@ -260,13 +281,13 @@ func (cc *cachedCtrl) write(r Request, start sim.Time) {
 			cc.writeMisses++
 		}
 	}
-	cc.chanXfer(r.Blocks, func() {
-		cc.insertDirty(r.LBA, r.Blocks, 0, func() { cc.finish(r, start) })
+	cc.chanXferSpan(r.Blocks, sp, func() {
+		cc.insertDirty(r.LBA, r.Blocks, 0, sp, func() { cc.finish(r, start, sp) })
 	})
 }
 
 // insertDirty processes block i of the write, serializing room-making.
-func (cc *cachedCtrl) insertDirty(lba int64, n, i int, done func()) {
+func (cc *cachedCtrl) insertDirty(lba int64, n, i int, sp *obs.Span, done func()) {
 	if i == n {
 		done()
 		return
@@ -274,15 +295,15 @@ func (cc *cachedCtrl) insertDirty(lba int64, n, i int, done func()) {
 	l := lba + int64(i)
 	if cc.c.Contains(l) {
 		cc.c.MarkDirty(l)
-		cc.insertDirty(lba, n, i+1, done)
+		cc.insertDirty(lba, n, i+1, sp, done)
 		return
 	}
-	cc.makeRoom(1, func() {
+	cc.makeRoom(1, sp, func() {
 		if cc.c.Contains(l) {
 			cc.c.MarkDirty(l)
 		} else {
 			cc.c.Insert(l, true)
 		}
-		cc.insertDirty(lba, n, i+1, done)
+		cc.insertDirty(lba, n, i+1, sp, done)
 	})
 }

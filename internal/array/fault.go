@@ -17,8 +17,9 @@ import (
 // faults are configured.
 type faultState struct {
 	inj        *fault.Injector
-	failed     []bool // slot is not readable (dead, or spare mid-rebuild)
-	rebuilding []bool // slot holds a spare being swept; writes go to it
+	failed     []bool      // slot is not readable (dead, or spare mid-rebuild)
+	rebuilding []bool      // slot holds a spare being swept; writes go to it
+	rbSpan     []*obs.Span // open per-slot rebuild root spans (nil entries when untraced)
 	nfailed    int
 	spares     int
 
@@ -112,6 +113,10 @@ func (c *common) FailDisk(d int) {
 		return
 	}
 	c.fs.rebuilding[d] = true
+	if c.tr != nil {
+		c.fs.rbSpan[d] = c.tr.StartBackground("rebuild", now)
+		c.fs.rbSpan[d].SetDisk(d)
+	}
 	c.sweepRebuild(d, 0, now)
 }
 
@@ -127,6 +132,11 @@ func (c *common) FailCache() {
 // completeRepair puts slot d back in service.
 func (c *common) completeRepair(d int) {
 	now := c.eng.Now()
+	if sp := c.fs.rbSpan[d]; sp != nil {
+		c.tr.FinishBackground(sp, now)
+		c.fs.rbSpan[d] = nil
+	}
+	c.cfg.Rec.RebuildProgress(d, 1)
 	c.fs.rebuilding[d] = false
 	c.fs.failed[d] = false
 	c.fs.nfailed--
@@ -165,12 +175,30 @@ func (c *common) sweepRebuild(d int, pos int64, started sim.Time) {
 	if pos+int64(n) > bpd {
 		n = int(bpd - pos)
 	}
+	// Each chunk is its own background span tree (read legs from the
+	// sources, then the write onto the spare); the sweep-wide "rebuild"
+	// root in fs.rbSpan brackets the whole recovery.
+	var chunk *obs.Span
+	if c.tr != nil {
+		chunk = c.tr.StartBackground("rebuild-chunk", c.eng.Now())
+		chunk.SetDisk(d)
+		chunk.SetBlocks(n)
+	}
 	read := newLatch(len(srcs), func() {
+		var wr *obs.Span
+		if chunk != nil {
+			wr = chunk.Child("rebuild-write", c.eng.Now())
+			wr.SetBlocks(n)
+		}
 		c.disks[d].Submit(&disk.Request{
 			StartBlock: pos, Blocks: n, Write: true,
-			Priority: disk.PriBackground,
+			Priority: disk.PriBackground, Span: wr,
 			OnDone: func() {
 				c.cfg.Rec.RebuildIO(c.eng.Now(), n)
+				c.cfg.Rec.RebuildProgress(d, float64(pos+int64(n))/float64(bpd))
+				if chunk != nil {
+					c.tr.FinishBackground(chunk, c.eng.Now())
+				}
 				next := func() { c.sweepRebuild(d, pos+int64(n), started) }
 				if c.cfg.RebuildPause > 0 {
 					c.eng.After(c.cfg.RebuildPause, next)
@@ -181,9 +209,14 @@ func (c *common) sweepRebuild(d int, pos int64, started sim.Time) {
 		})
 	})
 	for _, s := range srcs {
+		var rd *obs.Span
+		if chunk != nil {
+			rd = chunk.Child("rebuild-read", c.eng.Now())
+			rd.SetBlocks(n)
+		}
 		c.disks[s].Submit(&disk.Request{
 			StartBlock: pos, Blocks: n,
-			Priority: disk.PriBackground, OnDone: read.done,
+			Priority: disk.PriBackground, Span: rd, OnDone: read.done,
 		})
 	}
 }
@@ -201,23 +234,25 @@ func (c *common) RebuildActive() bool {
 
 // readRun issues one read run, transparently absorbing failed drives
 // (redundancy fallback) and latent sector errors (bounded retry, then
-// fallback). All controller read paths funnel through here.
-func (c *common) readRun(rn run, pri disk.Priority, onDone func()) {
+// fallback). All controller read paths funnel through here. op is the
+// device-op trace span the access runs under (nil when untraced);
+// recovery legs nest beneath it.
+func (c *common) readRun(rn run, pri disk.Priority, op *obs.Span, onDone func()) {
 	if c.fs.nfailed > 0 && c.fs.failed[rn.disk] {
-		c.fallbackRead(rn, pri, onDone)
+		c.fallbackRead(rn, pri, op, onDone)
 		return
 	}
-	c.mediaRead(rn, pri, 0, onDone)
+	c.mediaRead(rn, pri, 0, op, onDone)
 }
 
-func (c *common) mediaRead(rn run, pri disk.Priority, tries int, onDone func()) {
+func (c *common) mediaRead(rn run, pri disk.Priority, tries int, op *obs.Span, onDone func()) {
 	c.disks[rn.disk].Submit(&disk.Request{
-		StartBlock: rn.start, Blocks: rn.blocks, Priority: pri,
+		StartBlock: rn.start, Blocks: rn.blocks, Priority: pri, Span: op,
 		OnDone: func() {
 			// The drive may have died while this access was queued (it was
 			// dropped) — the "data" cannot be trusted either way.
 			if c.fs.nfailed > 0 && c.fs.failed[rn.disk] {
-				c.fallbackRead(rn, pri, onDone)
+				c.fallbackRead(rn, pri, op, onDone)
 				return
 			}
 			if c.fs.inj == nil || !c.fs.inj.SectorFaulty(rn.blocks) {
@@ -227,23 +262,27 @@ func (c *common) mediaRead(rn run, pri disk.Priority, tries int, onDone func()) 
 			c.fs.sectorErrors++
 			if tries < c.fs.inj.MaxReadRetries() {
 				c.fs.sectorRetries++
-				c.mediaRead(rn, pri, tries+1, onDone)
+				c.mediaRead(rn, pri, tries+1, op, onDone)
 				return
 			}
 			c.fs.sectorReconstructs++
-			c.fallbackRead(rn, pri, onDone)
+			c.fallbackRead(rn, pri, op, onDone)
 		},
 	})
 }
 
 // fallbackRead recovers a read run from redundancy, or counts it lost.
-func (c *common) fallbackRead(rn run, pri disk.Priority, onDone func()) {
-	if c.sch != nil && c.sch.readFallback(rn, pri, onDone) {
+func (c *common) fallbackRead(rn run, pri disk.Priority, op *obs.Span, onDone func()) {
+	done := onDone
+	if op != nil {
+		done = func() { op.CloseAt(c.eng.Now()); onDone() }
+	}
+	if c.sch != nil && c.sch.readFallback(rn, pri, op, done) {
 		return
 	}
 	c.fs.lostReadBlocks += int64(rn.blocks)
 	c.cfg.Rec.Note(obs.Event{At: c.eng.Now(), Kind: obs.EvDataLoss, Disk: rn.disk, Blocks: rn.blocks})
-	c.eng.After(0, onDone)
+	c.eng.After(0, done)
 }
 
 // filterWriteRuns drops runs whose target slot is gone (dead with no

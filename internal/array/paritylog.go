@@ -3,6 +3,7 @@ package array
 import (
 	"raidsim/internal/disk"
 	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 	"raidsim/internal/trace"
 )
 
@@ -71,9 +72,9 @@ func (pl *parityLogCtrl) Results() *Results { return pl.baseResults(OrgParityLog
 // Submit implements Controller.
 func (pl *parityLogCtrl) Submit(r Request) {
 	pl.checkRequest(r, pl.lay.DataBlocks())
-	start := pl.begin()
+	start, sp := pl.begin(r.Op != trace.Read)
 	if r.Op == trace.Read {
-		pl.readRuns(dataRunsSpan(pl.lay, r.LBA, r.Blocks), r.Blocks, func() { pl.finish(r, start) })
+		pl.readRuns(dataRunsSpan(pl.lay, r.LBA, r.Blocks), r.Blocks, sp, func() { pl.finish(r, start, sp) })
 		return
 	}
 	// Writes: data RMW (the old data is needed for the parity-update
@@ -81,11 +82,15 @@ func (pl *parityLogCtrl) Submit(r Request) {
 	// access in the foreground — the update image goes to the log.
 	plan := planUpdate(pl.lay, spanLBAs(r.LBA, r.Blocks), nil)
 	n := len(plan.dataRuns)
+	admitStart := pl.eng.Now()
 	pl.buf.Acquire(n, func() {
-		pl.chanXfer(r.Blocks, func() {
+		if now := pl.eng.Now(); now > admitStart {
+			sp.ChildSpan(obs.SpanAdmit, admitStart, now)
+		}
+		pl.chanXferSpan(r.Blocks, sp, func() {
 			done := newLatch(n, func() {
 				pl.buf.Release(n)
-				pl.finish(r, start)
+				pl.finish(r, start, sp)
 			})
 			for ri, rn := range plan.dataRuns {
 				req := &disk.Request{
@@ -93,6 +98,14 @@ func (pl *parityLogCtrl) Submit(r Request) {
 					Priority: disk.PriNormal,
 					RMW:      plan.dataRMW[ri],
 					OnDone:   done.done,
+				}
+				if sp != nil {
+					name := "write-data"
+					if req.RMW {
+						name = "rmw-data"
+					}
+					req.Span = sp.Child(name, pl.eng.Now())
+					req.Span.SetBlocks(rn.blocks)
 				}
 				pl.disks[rn.disk].Submit(req)
 			}
@@ -140,10 +153,19 @@ func (pl *parityLogCtrl) flushLog(blocks int) {
 	start := pl.logStart + pl.logUsed[d]
 	pl.logUsed[d] += int64(blocks)
 	pl.LogFlushes++
-	pl.disks[d].Submit(&disk.Request{
+	var root *obs.Span
+	if pl.tr != nil {
+		root = pl.tr.StartBackground("log-flush", pl.eng.Now())
+		root.SetBlocks(blocks)
+	}
+	req := &disk.Request{
 		StartBlock: start, Blocks: blocks, Write: true,
-		Priority: disk.PriBackground,
-	})
+		Priority: disk.PriBackground, Span: root,
+	}
+	if root != nil {
+		req.OnDone = func() { pl.tr.FinishBackground(root, pl.eng.Now()) }
+	}
+	pl.disks[d].Submit(req)
 }
 
 // reintegrate folds drive d's log into its parity blocks: a sequential
@@ -157,10 +179,25 @@ func (pl *parityLogCtrl) reintegrate(d int) {
 	pl.Reintegrations++
 	used := pl.logUsed[d]
 	pl.parityAccesses += used
+	var root *obs.Span
+	opSpan := func(name string) *obs.Span {
+		if root == nil {
+			return nil
+		}
+		op := root.Child(name, pl.eng.Now())
+		op.SetBlocks(int(used))
+		return op
+	}
+	if pl.tr != nil {
+		root = pl.tr.StartBackground("reintegrate", pl.eng.Now())
+		root.SetDisk(d)
+		root.SetBlocks(int(used))
+	}
 	// Pass 1: read the log sequentially.
 	pl.disks[d].Submit(&disk.Request{
 		StartBlock: pl.logStart, Blocks: int(used),
 		Priority: disk.PriBackground,
+		Span:     opSpan("log-read"),
 		OnDone: func() {
 			// Pass 2+3: sweep-read and rewrite the touched parity. The
 			// touched blocks are scattered; a sorted sweep is modeled as
@@ -169,11 +206,16 @@ func (pl *parityLogCtrl) reintegrate(d int) {
 			pl.disks[d].Submit(&disk.Request{
 				StartBlock: sweepStart, Blocks: int(used),
 				Priority: disk.PriBackground,
+				Span:     opSpan("parity-read"),
 				OnDone: func() {
 					pl.disks[d].Submit(&disk.Request{
 						StartBlock: sweepStart, Blocks: int(used), Write: true,
 						Priority: disk.PriBackground,
+						Span:     opSpan("write-parity"),
 						OnDone: func() {
+							if root != nil {
+								pl.tr.FinishBackground(root, pl.eng.Now())
+							}
 							pl.logUsed[d] = 0
 							pl.reintegrating[d] = false
 						},

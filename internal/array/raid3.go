@@ -2,6 +2,7 @@ package array
 
 import (
 	"raidsim/internal/disk"
+	"raidsim/internal/obs"
 	"raidsim/internal/trace"
 )
 
@@ -43,7 +44,7 @@ func (r3 *raid3Ctrl) sliceSectors(k int) int {
 // Submit implements Controller.
 func (r3 *raid3Ctrl) Submit(r Request) {
 	r3.checkRequest(r, r3.DataBlocks())
-	start := r3.begin()
+	start, sp := r3.begin(r.Op != trace.Read)
 
 	// The request's rows on each drive: physical blocks
 	// [lba/N, (lba+blocks-1)/N].
@@ -58,18 +59,28 @@ func (r3 *raid3Ctrl) Submit(r Request) {
 	if r.Op == trace.Read {
 		// All N data disks participate; parity idle on reads.
 		nbuf := r3.n
+		admitStart := r3.eng.Now()
 		r3.buf.Acquire(nbuf, func() {
+			if now := r3.eng.Now(); now > admitStart {
+				sp.ChildSpan(obs.SpanAdmit, admitStart, now)
+			}
 			done := newLatch(r3.n, func() {
-				r3.chanXfer(r.Blocks, func() {
+				r3.chanXferSpan(r.Blocks, sp, func() {
 					r3.buf.Release(nbuf)
-					r3.finish(r, start)
+					r3.finish(r, start, sp)
 				})
 			})
 			for d := 0; d < r3.n; d++ {
+				var op *obs.Span
+				if sp != nil {
+					op = sp.Child("read-slice", r3.eng.Now())
+					op.SetBlocks(blocks)
+				}
 				r3.disks[d].Submit(&disk.Request{
 					StartBlock: row0, Blocks: blocks,
 					TransferSectors: sectors,
 					Priority:        disk.PriNormal,
+					Span:            op,
 					OnDone:          done.done,
 				})
 			}
@@ -79,18 +90,32 @@ func (r3 *raid3Ctrl) Submit(r Request) {
 
 	// Write: all N data disks plus the parity disk, no old-data reads.
 	nbuf := r3.n + 1
+	admitStart := r3.eng.Now()
 	r3.buf.Acquire(nbuf, func() {
-		r3.chanXfer(r.Blocks, func() {
+		if now := r3.eng.Now(); now > admitStart {
+			sp.ChildSpan(obs.SpanAdmit, admitStart, now)
+		}
+		r3.chanXferSpan(r.Blocks, sp, func() {
 			done := newLatch(r3.n+1, func() {
 				r3.buf.Release(nbuf)
-				r3.finish(r, start)
+				r3.finish(r, start, sp)
 			})
 			for d := 0; d <= r3.n; d++ {
+				var op *obs.Span
+				if sp != nil {
+					name := "write-slice"
+					if d == r3.n {
+						name = "write-parity"
+					}
+					op = sp.Child(name, r3.eng.Now())
+					op.SetBlocks(blocks)
+				}
 				req := &disk.Request{
 					StartBlock: row0, Blocks: blocks,
 					TransferSectors: sectors,
 					Write:           true,
 					Priority:        disk.PriNormal,
+					Span:            op,
 					OnDone:          done.done,
 				}
 				if d == r3.n {

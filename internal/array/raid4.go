@@ -3,6 +3,7 @@ package array
 import (
 	"raidsim/internal/cache"
 	"raidsim/internal/disk"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 )
 
@@ -37,11 +38,12 @@ func (s *raid4Scheme) write(w writeOp) {
 	if len(plan.dataRuns) > 1 && w.spread > 0 {
 		stagger = w.spread / sim.Time(len(plan.dataRuns))
 	}
-	s.c.acquireAndXfer(nbuf, w.xfer, func() {
+	s.c.acquireAndXfer(nbuf, w.xfer, w.span, func() {
 		s.c.executeUpdate(plan, updateOpts{
 			policy:  RF, // enqueue parity once its inputs are read
 			pri:     w.pri,
 			stagger: stagger,
+			span:    w.span,
 			parityIssuer: func(pr parityRun, ready func() bool, done func()) {
 				s.enqueueParityRun(pr, 0, done)
 			},
@@ -114,12 +116,23 @@ func (s *raid4Scheme) spool() {
 	s.spooling = true
 	s.c.parityAccesses++
 	ep := s.cc.epoch
+	// Each spool access is its own background trace tree; the disk layer
+	// hangs the mechanism phases directly under its root.
+	var root *obs.Span
+	if s.c.tr != nil {
+		root = s.c.tr.StartBackground("parity-spool", s.c.eng.Now())
+		root.SetBlocks(1)
+	}
 	req := &disk.Request{
 		StartBlock: pick.Key.Block,
 		Blocks:     1,
 		Write:      true,
 		Priority:   disk.PriBackground,
+		Span:       root,
 		OnDone: func() {
+			if root != nil {
+				s.c.tr.FinishBackground(root, s.c.eng.Now())
+			}
 			s.scanPos = pick.Key.Block + 1
 			// Guard against an NVRAM failure that replaced the cache (and
 			// its spool) while this access was in flight.

@@ -2,6 +2,7 @@ package array
 
 import (
 	"raidsim/internal/disk"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 	"raidsim/internal/trace"
 )
@@ -35,9 +36,11 @@ type scheme interface {
 	// means reconstruction is impossible), and readFallback serves a read
 	// run whose home disk is unreadable from redundancy, returning false
 	// when the data is unrecoverable.
+	// op is the device-op span the failed read was issued under (nil when
+	// tracing is off); recovery legs hang their spans beneath it.
 	onFail(d int)
 	rebuildSources(d int) []int
-	readFallback(rn run, pri disk.Priority, onDone func()) bool
+	readFallback(rn run, pri disk.Priority, op *obs.Span, onDone func()) bool
 }
 
 // writeOp is one batch of blocks for a scheme to persist.
@@ -53,6 +56,10 @@ type writeOp struct {
 	// hasOld reports whether the pre-write image of a block is already
 	// in the controller (cache shadow); nil means never.
 	hasOld func(int64) bool
+	// span is the parent trace span the scheme's device-op spans attach
+	// to: the request's root for foreground writes, a background tree's
+	// root for destage batches. Nil when tracing is off.
+	span   *obs.Span
 	onDone func()
 }
 
@@ -72,41 +79,54 @@ func (sc *schemeCtrl) Results() *Results { return sc.baseResults(sc.s.org()) }
 // Submit implements Controller.
 func (sc *schemeCtrl) Submit(r Request) {
 	sc.checkRequest(r, sc.s.dataBlocks())
-	start := sc.begin()
+	start, sp := sc.begin(r.Op != trace.Read)
 	lbas := spanLBAs(r.LBA, r.Blocks)
 	if r.Op == trace.Read {
-		sc.readRuns(sc.s.fetchRuns(lbas), r.Blocks, func() { sc.finish(r, start) })
+		sc.readRuns(sc.s.fetchRuns(lbas), r.Blocks, sp, func() { sc.finish(r, start, sp) })
 		return
 	}
 	sc.s.write(writeOp{
-		lbas: lbas, xfer: r.Blocks, pri: disk.PriNormal,
-		onDone: func() { sc.finish(r, start) },
+		lbas: lbas, xfer: r.Blocks, pri: disk.PriNormal, span: sp,
+		onDone: func() { sc.finish(r, start, sp) },
 	})
 }
 
 // readRuns performs reads for the runs, then one channel transfer of the
 // full request, then onDone. Shared by every organization; readRun makes
 // every path failure- and sector-error-aware.
-func (c *common) readRuns(runs []run, totalBlocks int, onDone func()) {
+func (c *common) readRuns(runs []run, totalBlocks int, sp *obs.Span, onDone func()) {
+	admitStart := c.eng.Now()
 	c.buf.Acquire(len(runs), func() {
+		if now := c.eng.Now(); now > admitStart {
+			sp.ChildSpan(obs.SpanAdmit, admitStart, now)
+		}
 		done := newLatch(len(runs), func() {
-			c.chanXfer(totalBlocks, func() {
+			c.chanXferSpan(totalBlocks, sp, func() {
 				c.buf.Release(len(runs))
 				onDone()
 			})
 		})
 		for _, rn := range runs {
-			c.readRun(rn, disk.PriNormal, done.done)
+			var op *obs.Span
+			if sp != nil {
+				op = sp.Child("read-data", c.eng.Now())
+				op.SetBlocks(rn.blocks)
+			}
+			c.readRun(rn, disk.PriNormal, op, done.done)
 		}
 	})
 }
 
 // acquireAndXfer acquires n track buffers, then — for foreground writes
 // (xfer > 0) — moves the request over the channel, then runs issue.
-func (c *common) acquireAndXfer(n, xfer int, issue func()) {
+func (c *common) acquireAndXfer(n, xfer int, sp *obs.Span, issue func()) {
+	admitStart := c.eng.Now()
 	c.buf.Acquire(n, func() {
+		if now := c.eng.Now(); now > admitStart {
+			sp.ChildSpan(obs.SpanAdmit, admitStart, now)
+		}
 		if xfer > 0 {
-			c.chanXfer(xfer, issue)
+			c.chanXferSpan(xfer, sp, issue)
 		} else {
 			issue()
 		}
@@ -121,7 +141,7 @@ func (c *common) plainWrite(runs []run, w writeOp) {
 	if len(runs) > 1 && w.spread > 0 {
 		stagger = w.spread / sim.Time(len(runs))
 	}
-	c.acquireAndXfer(len(runs), w.xfer, func() {
+	c.acquireAndXfer(len(runs), w.xfer, w.span, func() {
 		done := newLatch(len(runs), func() {
 			c.buf.Release(len(runs))
 			w.onDone()
@@ -132,10 +152,17 @@ func (c *common) plainWrite(runs []run, w writeOp) {
 				Priority: w.pri, OnDone: done.done,
 			}
 			d := c.disks[rn.disk]
-			if stagger > 0 && i > 0 {
-				c.eng.After(stagger*sim.Time(i), func() { d.Submit(req) })
-			} else {
+			submit := func() {
+				if w.span != nil {
+					req.Span = w.span.Child("write-data", c.eng.Now())
+					req.Span.SetBlocks(rn.blocks)
+				}
 				d.Submit(req)
+			}
+			if stagger > 0 && i > 0 {
+				c.eng.After(stagger*sim.Time(i), submit)
+			} else {
+				submit()
 			}
 		}
 	})

@@ -3,6 +3,7 @@ package array
 import (
 	"raidsim/internal/disk"
 	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 )
 
 // mirrorScheme is any organization where every block has a partner copy
@@ -93,12 +94,17 @@ func (s *mirrorScheme) rebuildSources(d int) []int {
 	return []int{d ^ 1}
 }
 
-func (s *mirrorScheme) readFallback(rn run, pri disk.Priority, onDone func()) bool {
+func (s *mirrorScheme) readFallback(rn run, pri disk.Priority, op *obs.Span, onDone func()) bool {
 	alt := rn.disk ^ 1
 	if s.c.fs.failed[alt] {
 		return false
 	}
 	s.c.fs.failoverReads++
-	s.c.mediaRead(run{disk: alt, start: rn.start, blocks: rn.blocks}, pri, 0, onDone)
+	var leg *obs.Span
+	if op != nil {
+		leg = op.Child("failover-read", s.c.eng.Now())
+		leg.SetBlocks(rn.blocks)
+	}
+	s.c.mediaRead(run{disk: alt, start: rn.start, blocks: rn.blocks}, pri, 0, leg, onDone)
 	return true
 }

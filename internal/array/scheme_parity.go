@@ -3,6 +3,7 @@ package array
 import (
 	"raidsim/internal/disk"
 	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 )
 
@@ -33,11 +34,12 @@ func (s *parityScheme) write(w writeOp) {
 	if len(plan.dataRuns) > 1 && w.spread > 0 {
 		stagger = w.spread / sim.Time(len(plan.dataRuns))
 	}
-	s.c.acquireAndXfer(n, w.xfer, func() {
+	s.c.acquireAndXfer(n, w.xfer, w.span, func() {
 		s.c.executeUpdate(plan, updateOpts{
 			policy:  s.c.cfg.Sync,
 			pri:     w.pri,
 			stagger: stagger,
+			span:    w.span,
 			onDone: func() {
 				s.c.buf.Release(n)
 				w.onDone()
@@ -48,8 +50,8 @@ func (s *parityScheme) write(w writeOp) {
 
 func (s *parityScheme) onFail(d int)               { s.c.parityOnFail(d) }
 func (s *parityScheme) rebuildSources(d int) []int { return s.c.parityRebuildSources(d) }
-func (s *parityScheme) readFallback(rn run, pri disk.Priority, onDone func()) bool {
-	return s.c.parityReadFallback(s.lay, rn, pri, onDone)
+func (s *parityScheme) readFallback(rn run, pri disk.Priority, op *obs.Span, onDone func()) bool {
+	return s.c.parityReadFallback(s.lay, rn, pri, op, onDone)
 }
 
 // The N+1 parity degraded mapping, shared by RAID5, Parity Striping and
@@ -80,7 +82,7 @@ func (c *common) parityRebuildSources(d int) []int {
 	return srcs
 }
 
-func (c *common) parityReadFallback(lay layout.ParityLayout, rn run, pri disk.Priority, onDone func()) bool {
+func (c *common) parityReadFallback(lay layout.ParityLayout, rn run, pri disk.Priority, op *obs.Span, onDone func()) bool {
 	// Reconstruct each lost logical block: read its surviving stripe
 	// members and the stripe's parity block, XOR in the controller.
 	// Physical runs with no logical blocks attached (rebuild traffic)
@@ -105,7 +107,12 @@ func (c *common) parityReadFallback(lay layout.ParityLayout, rn run, pri disk.Pr
 	}
 	done := newLatch(len(srcs), onDone)
 	for _, s := range srcs {
-		c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, done.done)
+		var leg *obs.Span
+		if op != nil {
+			leg = op.Child("reconstruct", c.eng.Now())
+			leg.SetBlocks(1)
+		}
+		c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, leg, done.done)
 	}
 	return true
 }
@@ -114,8 +121,8 @@ func (c *common) parityReadFallback(lay layout.ParityLayout, rn run, pri disk.Pr
 // failures present, behind the standard envelope.
 func (c *common) parityDegradedWrite(lay layout.ParityLayout, w writeOp) {
 	n := len(w.lbas)
-	c.acquireAndXfer(n, w.xfer, func() {
-		c.degradedUpdate(lay, w.lbas, w.pri, func() {
+	c.acquireAndXfer(n, w.xfer, w.span, func() {
+		c.degradedUpdate(lay, w.lbas, w.pri, w.span, func() {
 			c.buf.Release(n)
 			w.onDone()
 		})
@@ -125,10 +132,10 @@ func (c *common) parityDegradedWrite(lay layout.ParityLayout, w writeOp) {
 // degradedUpdate applies a batch of block writes to a parity layout with
 // failures present, block at a time (run merging and policy scheduling
 // don't survive the per-block case analysis).
-func (c *common) degradedUpdate(lay layout.ParityLayout, lbas []int64, pri disk.Priority, onDone func()) {
+func (c *common) degradedUpdate(lay layout.ParityLayout, lbas []int64, pri disk.Priority, sp *obs.Span, onDone func()) {
 	done := newLatch(len(lbas), onDone)
 	for _, l := range lbas {
-		c.degradedWriteBlock(lay, l, pri, done.done)
+		c.degradedWriteBlock(lay, l, pri, sp, done.done)
 	}
 }
 
@@ -142,11 +149,19 @@ func (c *common) degradedUpdate(lay layout.ParityLayout, lbas []int64, pri disk.
 //   - both alive (or rebuilding): the usual data-RMW + parity-RMW pair,
 //     disk-first style.
 //   - both dead: the write has nowhere to land.
-func (c *common) degradedWriteBlock(lay layout.ParityLayout, l int64, pri disk.Priority, onDone func()) {
+func (c *common) degradedWriteBlock(lay layout.ParityLayout, l int64, pri disk.Priority, sp *obs.Span, onDone func()) {
 	home := lay.Map(l)
 	p := lay.Parity(l)
 	homeDown := c.writeDown(home.Disk)
 	parityDown := c.writeDown(p.Disk)
+	opSpan := func(name string) *obs.Span {
+		if sp == nil {
+			return nil
+		}
+		op := sp.Child(name, c.eng.Now())
+		op.SetBlocks(1)
+		return op
+	}
 	switch {
 	case homeDown && parityDown:
 		c.fs.lostWriteBlocks++
@@ -171,16 +186,16 @@ func (c *common) degradedWriteBlock(lay layout.ParityLayout, l int64, pri disk.P
 		read := newLatch(len(srcs), func() {
 			c.disks[p.Disk].Submit(&disk.Request{
 				StartBlock: p.Block, Blocks: 1, Write: true,
-				Priority: pri, OnDone: onDone,
+				Priority: pri, Span: opSpan("write-parity"), OnDone: onDone,
 			})
 		})
 		for _, s := range srcs {
-			c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, read.done)
+			c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, opSpan("reconstruct"), read.done)
 		}
 	case parityDown:
 		c.disks[home.Disk].Submit(&disk.Request{
 			StartBlock: home.Block, Blocks: 1, Write: true,
-			Priority: pri, OnDone: onDone,
+			Priority: pri, Span: opSpan("write-data"), OnDone: onDone,
 		})
 	default:
 		readDone := false
@@ -189,6 +204,7 @@ func (c *common) degradedWriteBlock(lay layout.ParityLayout, l int64, pri disk.P
 		dreq := &disk.Request{
 			StartBlock: home.Block, Blocks: 1, Write: true, RMW: true,
 			Priority:   pri,
+			Span:       opSpan("rmw-data"),
 			OnReadDone: func() { readDone = true },
 			OnDone:     all.done,
 		}
@@ -196,6 +212,7 @@ func (c *common) degradedWriteBlock(lay layout.ParityLayout, l int64, pri disk.P
 			c.disks[p.Disk].Submit(&disk.Request{
 				StartBlock: p.Block, Blocks: 1, Write: true, RMW: true,
 				Priority: pri, Ready: func() bool { return readDone },
+				Span:   opSpan("rmw-parity"),
 				OnDone: all.done,
 			})
 		}

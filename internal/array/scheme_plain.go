@@ -3,6 +3,7 @@ package array
 import (
 	"raidsim/internal/disk"
 	"raidsim/internal/layout"
+	"raidsim/internal/obs"
 )
 
 // plainScheme is any redundancy-free organization: Base (independent
@@ -34,4 +35,4 @@ func (s *plainScheme) onFail(int) { s.c.fs.dataLossEvents++ }
 
 func (s *plainScheme) rebuildSources(int) []int { return nil }
 
-func (s *plainScheme) readFallback(run, disk.Priority, func()) bool { return false }
+func (s *plainScheme) readFallback(run, disk.Priority, *obs.Span, func()) bool { return false }

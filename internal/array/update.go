@@ -2,6 +2,7 @@ package array
 
 import (
 	"raidsim/internal/disk"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 )
 
@@ -18,7 +19,10 @@ type updateOpts struct {
 	// before parity necessarily does. RAID4 releases its track buffers
 	// here, since spooled parity needs cache slots, not buffers.
 	onDataDone func()
-	onDone     func()
+	// span, when non-nil, is the trace span the update's device-op spans
+	// nest under (the request root, or a destage batch's background root).
+	span   *obs.Span
+	onDone func()
 }
 
 // executeUpdate applies a batch of writes plus their parity updates to the
@@ -82,6 +86,14 @@ func (c *common) executeUpdate(plan updatePlan, o updateOpts) {
 			req.RMW = true
 			req.Ready = ready
 		}
+		if o.span != nil {
+			name := "write-parity"
+			if req.RMW {
+				name = "rmw-parity"
+			}
+			req.Span = o.span.Child(name, c.eng.Now())
+			req.Span.SetBlocks(pr.blocks)
+		}
 		c.disks[pr.disk].Submit(req)
 	}
 
@@ -134,11 +146,22 @@ func (c *common) executeUpdate(plan updatePlan, o updateOpts) {
 				}
 			}
 		}
+		submit := func() {
+			if o.span != nil {
+				name := "write-data"
+				if req.RMW {
+					name = "rmw-data"
+				}
+				req.Span = o.span.Child(name, c.eng.Now())
+				req.Span.SetBlocks(r.blocks)
+			}
+			c.disks[r.disk].Submit(req)
+		}
 		if o.stagger > 0 && ri > 0 {
 			delay := o.stagger * sim.Time(ri)
-			c.eng.After(delay, func() { c.disks[r.disk].Submit(req) })
+			c.eng.After(delay, submit)
 		} else {
-			c.disks[r.disk].Submit(req)
+			submit()
 		}
 	}
 }

@@ -51,6 +51,7 @@ type Binding struct {
 
 	obsWindow *time.Duration
 	obsTrace  *int
+	traceTopK *int
 }
 
 // Bind registers the shared simulation flags on fs. Call Config or Apply
@@ -82,6 +83,7 @@ func Bind(fs *flag.FlagSet) *Binding {
 
 		obsWindow: fs.Duration("obs-window", 0, "record a windowed time series with this window width (e.g. 1s; 0 = off)"),
 		obsTrace:  fs.Int("obs-trace", 0, "keep the newest N observability events for JSONL export (0 = off)"),
+		traceTopK: fs.Int("trace-topk", 0, "trace per-request span trees, keeping the slowest K per class (0 = off)"),
 	}
 }
 
@@ -197,6 +199,9 @@ func (b *Binding) Apply(cfg *core.Config) error {
 	}
 	if set["obs-trace"] {
 		cfg.Obs.TraceCap = *b.obsTrace
+	}
+	if set["trace-topk"] {
+		cfg.Obs.SpanTopK = *b.traceTopK
 	}
 	return err
 }

@@ -127,6 +127,7 @@ func (c Config) arrayConfig(group, disks int, fc fault.Config) array.Config {
 	if c.Obs.Enabled() {
 		oc := c.Obs
 		oc.Disks = c.physWidth(disks)
+		oc.Array = group
 		rec = obs.NewRecorder(oc)
 	}
 	return array.Config{
@@ -265,6 +266,16 @@ type Results struct {
 	// counts events the bounded per-array rings overwrote.
 	ObsEvents        []obs.Event
 	ObsEventsDropped int64
+
+	// TailSpans are the retained slowest-K request span trees per class
+	// across all arrays, slowest first; BgSpans the retained background
+	// trees (destage batches, rebuild chunks, ...) in start order. Both
+	// are nil unless Config.Obs.SpanTopK enabled the tracer.
+	TailSpans []obs.SpanSample
+	BgSpans   []obs.SpanSample
+	// SpanTreesDropped counts background trees the bounded per-array
+	// rings overwrote.
+	SpanTreesDropped int64
 
 	PerArray []*array.Results
 }
@@ -421,9 +432,25 @@ func attachObs(out *Results, recs []*obs.Recorder) {
 			out.ObsEvents = append(out.ObsEvents, e)
 		}
 		out.ObsEventsDropped += rec.EventsDropped()
+		if tr := rec.Tracer(); tr != nil {
+			for _, t := range tr.Requests() {
+				out.TailSpans = append(out.TailSpans, obs.SpanSample{Array: g, Tree: t})
+			}
+			for _, t := range tr.Background() {
+				out.BgSpans = append(out.BgSpans, obs.SpanSample{Array: g, Tree: t})
+			}
+			out.SpanTreesDropped += tr.BackgroundDropped()
+		}
 	}
 	sort.SliceStable(out.ObsEvents, func(i, j int) bool {
 		return out.ObsEvents[i].At < out.ObsEvents[j].At
+	})
+	// Re-sort across arrays: slowest requests first, background by start.
+	sort.SliceStable(out.TailSpans, func(i, j int) bool {
+		return out.TailSpans[i].Tree.Duration() > out.TailSpans[j].Tree.Duration()
+	})
+	sort.SliceStable(out.BgSpans, func(i, j int) bool {
+		return out.BgSpans[i].Tree.Root().Start < out.BgSpans[j].Tree.Root().Start
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"raidsim/internal/geom"
+	"raidsim/internal/obs"
 	"raidsim/internal/sim"
 	"raidsim/internal/stats"
 )
@@ -56,6 +57,13 @@ type Request struct {
 	OnReadDone func()
 	// OnDone fires when the request fully completes. May be nil.
 	OnDone func()
+
+	// Span, when non-nil, receives the access's mechanism sub-spans
+	// (queue wait, seek+rotate, transfer, and the RMW legs read-old /
+	// realign / hold-rotation / write-new) and is closed when the access
+	// completes or is dropped. The controller allocates it; a nil Span
+	// (tracing off) costs one branch per probe point.
+	Span *obs.Span
 
 	enqueued sim.Time
 }
@@ -185,6 +193,7 @@ func (d *Disk) Repair() {
 func (d *Disk) drop(r *Request) {
 	d.S.Dropped++
 	d.eng.After(0, func() {
+		r.Span.CloseAt(d.eng.Now())
 		if r.OnStart != nil {
 			r.OnStart()
 		}
@@ -216,6 +225,7 @@ func (d *Disk) Submit(r *Request) {
 	if r.Priority < 0 || r.Priority >= numPriorities {
 		panic("disk: bad priority")
 	}
+	r.Span.SetDisk(d.ID)
 	if d.failed {
 		d.drop(r)
 		return
@@ -238,6 +248,9 @@ func (d *Disk) trySchedule() {
 	d.busySince = now
 	d.S.Util.SetBusy(now)
 	d.S.QueueWait.Add(sim.Millis(now - r.enqueued))
+	if now > r.enqueued {
+		r.Span.ChildSpan(obs.SpanQueue, r.enqueued, now)
+	}
 	if r.OnStart != nil {
 		r.OnStart()
 	}
@@ -317,6 +330,7 @@ func (d *Disk) service(r *Request, now sim.Time) {
 	passStart := arrive + latency
 	passEnd := passStart + plan.duration
 	d.S.TransferTime += plan.duration
+	r.Span.ChildSpan(obs.SpanSeekRotate, now, passStart)
 
 	d.S.Accesses++
 	if r.RMW {
@@ -332,9 +346,11 @@ func (d *Disk) service(r *Request, now sim.Time) {
 	}
 
 	if !r.RMW {
+		r.Span.ChildSpan(obs.SpanTransfer, passStart, passEnd)
 		d.eng.At(passEnd, func() { d.finish(r, now) })
 		return
 	}
+	r.Span.ChildSpan(obs.SpanReadOld, passStart, passEnd)
 
 	// RMW: the pass just performed is the old-data read. The write of the
 	// new data can begin when the head is back over the start of the run:
@@ -353,6 +369,7 @@ func (d *Disk) service(r *Request, now sim.Time) {
 		// The gap between the read pass ending and the write pass starting
 		// is rotational repositioning.
 		d.S.RotateTime += k*rot - plan.duration
+		r.Span.ChildSpan(obs.SpanRealign, passEnd, passStart+k*rot)
 		d.rmwWriteAttempt(r, passStart+k*rot, plan.duration, now, 0)
 	})
 }
@@ -371,6 +388,7 @@ func (d *Disk) rmwWriteAttempt(r *Request, writeStart sim.Time, dur sim.Time, sv
 	d.eng.At(writeStart, func() {
 		if r.Ready != nil && !r.Ready() {
 			d.S.HeldRotations++
+			r.Span.ChildSpan(obs.SpanHold, writeStart, writeStart+d.spec.RotationTime())
 			if holds+1 >= maxHeldRotations {
 				d.S.RMWAborts++
 				d.requeue(r)
@@ -380,6 +398,7 @@ func (d *Disk) rmwWriteAttempt(r *Request, writeStart sim.Time, dur sim.Time, sv
 			return
 		}
 		d.S.TransferTime += dur
+		r.Span.ChildSpan(obs.SpanWriteNew, writeStart, writeStart+dur)
 		d.eng.At(writeStart+dur, func() { d.finish(r, svcStart) })
 	})
 }
@@ -418,6 +437,7 @@ func (d *Disk) finish(r *Request, svcStart sim.Time) {
 	if d.probe != nil {
 		d.probe.DiskBusy(d.ID, d.busySince, now)
 	}
+	r.Span.CloseAt(now)
 	if r.OnDone != nil {
 		r.OnDone()
 	}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
 	"raidsim/internal/array"
 	"raidsim/internal/core"
@@ -42,6 +43,11 @@ func extTimeseries(ctx *Context) error {
 	// Retain every event (requests included) so the fault markers are
 	// not overwritten by later request events.
 	cfg.Obs.TraceCap = len(tr.Records) + 4096
+	// Keep the slowest requests per class so the tail-anatomy table can
+	// attribute the rebuild-window latency spike stage by stage.
+	if cfg.Obs.SpanTopK == 0 {
+		cfg.Obs.SpanTopK = 4
+	}
 
 	res, err := core.Run(cfg, tr)
 	if err != nil {
@@ -59,6 +65,37 @@ func extTimeseries(ctx *Context) error {
 	st.AddNote("rebuild blk + degraded columns: the hot-spare rebuild window after the failure at %.0fs", float64(failAt)/float64(sim.Second))
 	if err := ctx.Render(st); err != nil {
 		return err
+	}
+
+	if len(res.TailSpans) > 0 {
+		// TailSpans keeps the slowest K per class *per array*; with
+		// ceil(130/N) arrays that is too many rows, so re-select the
+		// slowest few per class system-wide.
+		byClass := map[string][]obs.SpanSample{}
+		for _, s := range res.TailSpans {
+			k := s.Tree.Class
+			if s.Tree.Degraded {
+				k += "/degraded"
+			}
+			byClass[k] = append(byClass[k], s)
+		}
+		var tail []obs.SpanSample
+		for _, g := range byClass {
+			sort.Slice(g, func(i, j int) bool {
+				return g[i].Tree.Duration() > g[j].Tree.Duration()
+			})
+			if len(g) > 4 {
+				g = g[:4]
+			}
+			tail = append(tail, g...)
+		}
+		sort.Slice(tail, func(i, j int) bool {
+			return tail[i].Tree.Duration() > tail[j].Tree.Duration()
+		})
+		tt := report.TailTable("tail anatomy: slowest requests per class", tail)
+		if err := ctx.Render(tt); err != nil {
+			return err
+		}
 	}
 
 	ev := &report.Table{

@@ -28,13 +28,27 @@ type Config struct {
 	Disks int
 	// TraceCap bounds the event ring buffer; 0 disables the event trace.
 	TraceCap int
+	// SpanTopK enables the per-request span tracer and sizes its tail
+	// capture: the slowest K request span trees are retained per class
+	// (read/write × normal/degraded). 0 disables tracing entirely.
+	SpanTopK int
+	// SpanBgCap bounds retained background span trees (destage batches,
+	// rebuild chunks, parity spool); <= 0 means DefaultSpanBgCap.
+	SpanBgCap int
+	// Live, when non-nil, receives a thread-safe ArraySnapshot on every
+	// sampler tick for the introspection HTTP server.
+	Live *Live
+	// Array tags this recorder's live snapshots and exported spans.
+	Array int
 }
 
 // DefaultWindow is the window width when Config.Window is unset.
 const DefaultWindow = sim.Second
 
 // Enabled reports whether this config asks for observability at all.
-func (c Config) Enabled() bool { return c.Window > 0 || c.TraceCap > 0 }
+func (c Config) Enabled() bool {
+	return c.Window > 0 || c.TraceCap > 0 || c.SpanTopK > 0 || c.Live != nil
+}
 
 // maxWindows caps the window slice so a runaway clock cannot exhaust
 // memory (each window embeds a ~2 KB histogram); past the cap, samples
@@ -62,16 +76,22 @@ type window struct {
 // goroutine, like the engine that drives it; independent arrays each get
 // their own Recorder and their Series are merged afterwards.
 type Recorder struct {
-	cfg  Config
-	win  sim.Time
-	wins []*window
-	ring *ring
+	cfg    Config
+	win    sim.Time
+	wins   []*window
+	ring   *ring
+	tracer *Tracer
 
 	end       sim.Time // latest timestamp observed
 	lastSteps uint64
 
 	degradedOn    bool
 	degradedSince sim.Time
+
+	// Cumulative counters and rebuild progress for live snapshots.
+	totReads, totWrites int64
+	rbDisk              int
+	rbFrac              float64
 }
 
 // NewRecorder returns a Recorder for the config. The zero-window config
@@ -80,11 +100,24 @@ func NewRecorder(cfg Config) *Recorder {
 	if cfg.Window <= 0 {
 		cfg.Window = DefaultWindow
 	}
-	r := &Recorder{cfg: cfg, win: cfg.Window}
+	r := &Recorder{cfg: cfg, win: cfg.Window, rbDisk: -1}
 	if cfg.TraceCap > 0 {
 		r.ring = newRing(cfg.TraceCap)
 	}
+	if cfg.SpanTopK > 0 {
+		r.tracer = NewTracer(cfg.SpanTopK, cfg.SpanBgCap)
+	}
 	return r
+}
+
+// Tracer returns the recorder's span tracer (nil when tracing is off or
+// the recorder itself is nil, which keeps the off switch a single nil
+// span down the pipeline).
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
 }
 
 // Window returns the window width (DefaultWindow if the recorder is nil,
@@ -125,8 +158,10 @@ func (r *Recorder) Request(at sim.Time, write bool, ms float64) {
 	w.hist.Add(ms)
 	if write {
 		w.writes++
+		r.totWrites++
 	} else {
 		w.reads++
+		r.totReads++
 	}
 	if r.ring != nil {
 		r.ring.append(Event{At: at, Kind: EvRequest, MS: ms, Write: write})
@@ -169,6 +204,54 @@ func (r *Recorder) Sample(at sim.Time, queueDepth int, dirtyFrac float64, steps 
 		w.steps += steps - r.lastSteps
 		r.lastSteps = steps
 	}
+	if r.cfg.Live != nil {
+		r.publishLive(at, w, queueDepth, dirtyFrac)
+	}
+}
+
+// publishLive pushes a snapshot of the current window to the live
+// registry. Reading the recorder's own window is safe: Sample runs on the
+// array's simulation goroutine, the registry handles cross-goroutine
+// hand-off.
+func (r *Recorder) publishLive(at sim.Time, w *window, queueDepth int, dirtyFrac float64) {
+	s := ArraySnapshot{
+		Array:          r.cfg.Array,
+		SimSeconds:     float64(at) / float64(sim.Second),
+		Reads:          r.totReads,
+		Writes:         r.totWrites,
+		QueueDepth:     queueDepth,
+		DirtyFrac:      dirtyFrac,
+		Degraded:       r.degradedOn,
+		Rebuilding:     r.rbDisk >= 0,
+		RebuildDisk:    r.rbDisk,
+		RebuildFrac:    r.rbFrac,
+		WindowRequests: w.hist.N(),
+		WindowMeanMS:   w.hist.Mean(),
+		WindowP95MS:    w.hist.Quantile(0.95),
+		Events:         r.lastSteps,
+	}
+	winStart := (at / r.win) * r.win
+	if span := at - winStart; span > 0 && r.cfg.Disks > 0 {
+		var busy sim.Time
+		for _, b := range w.busy {
+			busy += b
+		}
+		s.UtilMean = float64(busy) / float64(sim.Time(r.cfg.Disks)*span)
+	}
+	r.cfg.Live.Publish(s)
+}
+
+// RebuildProgress records how far the rebuild of the given slot has
+// swept, as a fraction of the drive; frac >= 1 clears the live gauge.
+func (r *Recorder) RebuildProgress(disk int, frac float64) {
+	if r == nil {
+		return
+	}
+	if frac >= 1 {
+		r.rbDisk, r.rbFrac = -1, 0
+		return
+	}
+	r.rbDisk, r.rbFrac = disk, frac
 }
 
 // Destage records one periodic destage batch of the given block count.
@@ -271,5 +354,5 @@ func (r *Recorder) Series() *Series {
 }
 
 func (c Config) String() string {
-	return fmt.Sprintf("obs{window=%v disks=%d trace=%d}", c.Window, c.Disks, c.TraceCap)
+	return fmt.Sprintf("obs{window=%v disks=%d trace=%d spans=%d}", c.Window, c.Disks, c.TraceCap, c.SpanTopK)
 }

@@ -153,11 +153,14 @@ func TestRingWraparound(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 8 {
-		t.Fatalf("JSONL has %d lines, want 8", len(lines))
+	if len(lines) != 9 {
+		t.Fatalf("JSONL has %d lines, want schema + 8 events", len(lines))
 	}
-	if !strings.Contains(lines[0], `"kind":"request"`) {
-		t.Errorf("JSONL line lacks kind: %s", lines[0])
+	if !strings.Contains(lines[0], EventSchemaVersion) {
+		t.Errorf("JSONL schema line missing: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"kind":"request"`) {
+		t.Errorf("JSONL line lacks kind: %s", lines[1])
 	}
 }
 
@@ -222,17 +225,20 @@ func TestSeriesCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("CSV has %d lines, want header + 1 window", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want schema + header + 1 window", len(lines))
 	}
-	if lines[0] != strings.Join(csvHeader, ",") {
-		t.Errorf("header mismatch: %s", lines[0])
+	if lines[0] != "# schema "+SeriesSchemaVersion {
+		t.Errorf("schema line mismatch: %s", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "0.000,1,1,0,") {
-		t.Errorf("row mismatch: %s", lines[1])
+	if lines[1] != strings.Join(csvHeader, ",") {
+		t.Errorf("header mismatch: %s", lines[1])
 	}
-	if !strings.Contains(lines[1], ",16,") { // destaged blocks column
-		t.Errorf("destaged blocks missing from row: %s", lines[1])
+	if !strings.HasPrefix(lines[2], "0.000,1,1,0,") {
+		t.Errorf("row mismatch: %s", lines[2])
+	}
+	if !strings.Contains(lines[2], ",16,") { // destaged blocks column
+		t.Errorf("destaged blocks missing from row: %s", lines[2])
 	}
 }
 

@@ -67,9 +67,18 @@ func (r *ring) events() []Event {
 	return out
 }
 
-// WriteJSONL writes events one JSON object per line.
+// EventSchemaVersion identifies the JSONL event export format; the first
+// exported line carries it so downstream tooling can detect drift.
+const EventSchemaVersion = "raidsim-events/1"
+
+// WriteJSONL writes a schema line, then events one JSON object per line.
 func WriteJSONL(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
+	if err := enc.Encode(struct {
+		Schema string `json:"schema"`
+	}{EventSchemaVersion}); err != nil {
+		return err
+	}
 	for _, e := range events {
 		if err := enc.Encode(e); err != nil {
 			return err

@@ -151,8 +151,15 @@ var csvHeader = []string{
 	"destages", "destaged_blocks", "rebuild_blocks", "degraded_frac", "events",
 }
 
-// WriteCSV writes the series one window per row.
+// SeriesSchemaVersion identifies the series CSV format, written as a
+// leading "# schema" comment line so downstream tooling can detect drift.
+const SeriesSchemaVersion = "raidsim-series/1"
+
+// WriteCSV writes a schema comment, the header, then one window per row.
 func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# schema %s\n", SeriesSchemaVersion); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintln(w, strings.Join(csvHeader, ",")); err != nil {
 		return err
 	}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"fmt"
+
+	"raidsim/internal/obs"
+	"raidsim/internal/sim"
+)
+
+// TailTable renders the tail-anatomy view: one row per retained
+// slowest-K request span tree, decomposing its response time into the
+// pipeline stages the tracer recorded. Stage columns sum spans across
+// the tree's device operations, which overlap in time, so they can
+// exceed the response column — they attribute where the time went, not
+// a serial decomposition.
+func TailTable(title string, samples []obs.SpanSample) *Table {
+	t := &Table{
+		Title: title,
+		Columns: []string{
+			"class", "arr", "t (s)", "resp ms",
+			"admit", "queue", "position", "media", "chan", "stall", "ops",
+		},
+	}
+	for _, s := range samples {
+		tree := s.Tree
+		root := tree.Root()
+		position := tree.StageMS(obs.SpanSeekRotate) + tree.StageMS(obs.SpanRealign) + tree.StageMS(obs.SpanHold)
+		media := tree.StageMS(obs.SpanTransfer) + tree.StageMS(obs.SpanReadOld) + tree.StageMS(obs.SpanWriteNew)
+		t.AddRow(
+			tree.Class,
+			fmt.Sprintf("%d", s.Array),
+			fmt.Sprintf("%.2f", float64(root.Start)/float64(sim.Second)),
+			fmt.Sprintf("%.2f", sim.Millis(tree.Duration())),
+			fmt.Sprintf("%.2f", tree.StageMS(obs.SpanAdmit)),
+			fmt.Sprintf("%.2f", tree.StageMS(obs.SpanQueue)),
+			fmt.Sprintf("%.2f", position),
+			fmt.Sprintf("%.2f", media),
+			fmt.Sprintf("%.2f", tree.StageMS(obs.SpanChannel)),
+			fmt.Sprintf("%.2f", tree.StageMS(obs.SpanStall)),
+			fmt.Sprintf("%d", tree.DeviceOps()),
+		)
+	}
+	t.AddNote("position = seek+rotate + realign + held rotations; media = transfer + read-old + write-new")
+	t.AddNote("stage columns sum overlapping per-device spans and may exceed resp")
+	return t
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"raidsim/internal/obs"
+	"raidsim/internal/sim"
+)
+
+// deterministicSeries builds a small fixed series: two full windows of
+// known requests and disk busy time.
+func deterministicSeries() *obs.Series {
+	r := obs.NewRecorder(obs.Config{Window: sim.Second, Disks: 2})
+	r.Request(100*sim.Millisecond, false, 10)
+	r.Request(200*sim.Millisecond, true, 20)
+	r.Request(1500*sim.Millisecond, false, 40)
+	r.DiskBusy(0, 0, 1*sim.Second)
+	r.DiskBusy(1, 1*sim.Second, 2*sim.Second)
+	return r.Series()
+}
+
+// TestSeriesTableGolden locks the rendered transient table down to the
+// exact string, so format drift is a deliberate decision.
+func TestSeriesTableGolden(t *testing.T) {
+	tb := SeriesTable("transient", deterministicSeries())
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "transient\n" +
+		"t (s)  req  rps  mean ms  p50 ms  p95 ms  p99 ms  max ms  util   queue  dirty  destg blk  rebuild blk  degraded\n" +
+		"---------------------------------------------------------------------------------------------------------------\n" +
+		"0.0      2  2.0    15.00    9.87   20.00   20.00   20.00  0.500    0.0  0.000          0            0         -\n" +
+		"1.0      1  1.0    40.00   40.00   40.00   40.00   40.00  0.500    0.0  0.000          0            0         -\n" +
+		"\n"
+	if b.String() != want {
+		t.Fatalf("SeriesTable output drifted:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestSeriesFigureGolden locks the figure's tabular rendering down to the
+// exact string.
+func TestSeriesFigureGolden(t *testing.T) {
+	f := SeriesFigure("response over time", deterministicSeries())
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "response over time  [y: response (ms)]\n" +
+		"t (s)  mean   p95    p99  \n" +
+		"--------------------------\n" +
+		"0      15.00  20.00  20.00\n" +
+		"1      40.00  40.00  40.00\n" +
+		"\n"
+	if b.String() != want {
+		t.Fatalf("SeriesFigure output drifted:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestTailTableGolden builds one retained write tree with every stage
+// populated and locks the tail-anatomy rendering.
+func TestTailTableGolden(t *testing.T) {
+	tr := obs.NewTracer(4, 0)
+	ms := func(n int64) sim.Time { return sim.Time(n) * sim.Millisecond }
+	root := tr.Start(0, true)
+	root.ChildSpan(obs.SpanAdmit, 0, ms(1))
+	op := root.Child("rmw-data", ms(1))
+	op.SetDisk(0)
+	op.SetBlocks(2)
+	op.ChildSpan(obs.SpanQueue, ms(1), ms(3))
+	op.ChildSpan(obs.SpanSeekRotate, ms(3), ms(8))
+	op.ChildSpan(obs.SpanReadOld, ms(8), ms(10))
+	op.ChildSpan(obs.SpanWriteNew, ms(12), ms(14))
+	op.CloseAt(ms(14))
+	root.ChildSpan(obs.SpanChannel, ms(14), ms(15))
+	tr.Finish(root, ms(15), false)
+
+	trees := tr.Requests()
+	if len(trees) != 1 {
+		t.Fatalf("retained %d trees, want 1", len(trees))
+	}
+	tb := TailTable("tail anatomy", []obs.SpanSample{{Array: 1, Tree: trees[0]}})
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "tail anatomy\n" +
+		"class         arr  t (s)  resp ms  admit  queue  position  media  chan  stall  ops\n" +
+		"----------------------------------------------------------------------------------\n" +
+		"write/normal    1   0.00    15.00   1.00   2.00      5.00   4.00  1.00   0.00    1\n" +
+		"note: position = seek+rotate + realign + held rotations; media = transfer + read-old + write-new\n" +
+		"note: stage columns sum overlapping per-device spans and may exceed resp\n" +
+		"\n"
+	if b.String() != want {
+		t.Fatalf("TailTable output drifted:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
