@@ -184,7 +184,9 @@ func (cc *cachedCtrl) makeRoomFrom(want int, t0 sim.Time, sp *obs.Span, fn func(
 		v := cc.c.Victim()
 		if v == nil {
 			// Everything is mid-destage; retry shortly.
-			cc.eng.After(sim.Millisecond, func() { cc.makeRoomFrom(want, t0, sp, fn) })
+			cl := cc.eng.AfterCall(sim.Millisecond, makeRoomRetryFire)
+			cl.A, cl.B, cl.C = cc, sp, fn
+			cl.N0, cl.N1 = int64(want), t0
 			return
 		}
 		if v.Dirty {
@@ -210,6 +212,14 @@ func (cc *cachedCtrl) makeRoomFrom(want int, t0 sim.Time, sp *obs.Span, fn func(
 	}
 	cc.stages.DestageStallMS += sim.Millis(cc.eng.Now() - t0)
 	fn()
+}
+
+// makeRoomRetryFire re-runs a stalled makeRoom pass: A = controller,
+// B = the request span (nil *obs.Span when untraced), C = continuation,
+// N0 = wanted slots, N1 = the stall's start time.
+func makeRoomRetryFire(_ *sim.Engine, cl *sim.Call) {
+	cc := cl.A.(*cachedCtrl)
+	cc.makeRoomFrom(int(cl.N0), cl.N1, cl.B.(*obs.Span), cl.C.(func()))
 }
 
 // Submit implements Controller.

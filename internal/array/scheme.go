@@ -152,20 +152,36 @@ func (c *common) plainWrite(runs []run, w writeOp) {
 				Priority: w.pri, OnDone: done.done,
 			}
 			d := c.disks[rn.disk]
-			submit := func() {
-				if w.span != nil {
-					req.Span = w.span.Child("write-data", c.eng.Now())
-					req.Span.SetBlocks(rn.blocks)
-				}
-				d.Submit(req)
-			}
 			if stagger > 0 && i > 0 {
-				c.eng.After(stagger*sim.Time(i), submit)
-			} else {
-				submit()
+				cl := c.eng.AfterCall(stagger*sim.Time(i), submitWriteFire)
+				cl.A, cl.B, cl.C = d, req, w.span
+				continue
 			}
+			if w.span != nil {
+				req.Span = w.span.Child("write-data", c.eng.Now())
+				req.Span.SetBlocks(rn.blocks)
+			}
+			d.Submit(req)
 		}
 	})
+}
+
+// submitWriteFire issues a staggered device write: A = disk, B =
+// request, C = the parent trace span (a nil *obs.Span when tracing is
+// off). The span child is created at issue time, as for an immediate
+// submit.
+func submitWriteFire(e *sim.Engine, cl *sim.Call) {
+	d := cl.A.(*disk.Disk)
+	req := cl.B.(*disk.Request)
+	if sp := cl.C.(*obs.Span); sp != nil {
+		name := "write-data"
+		if req.RMW {
+			name = "rmw-data"
+		}
+		req.Span = sp.Child(name, e.Now())
+		req.Span.SetBlocks(req.Blocks)
+	}
+	d.Submit(req)
 }
 
 func spanLBAs(lba int64, n int) []int64 {

@@ -146,22 +146,19 @@ func (c *common) executeUpdate(plan updatePlan, o updateOpts) {
 				}
 			}
 		}
-		submit := func() {
-			if o.span != nil {
-				name := "write-data"
-				if req.RMW {
-					name = "rmw-data"
-				}
-				req.Span = o.span.Child(name, c.eng.Now())
-				req.Span.SetBlocks(r.blocks)
-			}
-			c.disks[r.disk].Submit(req)
-		}
 		if o.stagger > 0 && ri > 0 {
-			delay := o.stagger * sim.Time(ri)
-			c.eng.After(delay, submit)
-		} else {
-			submit()
+			cl := c.eng.AfterCall(o.stagger*sim.Time(ri), submitWriteFire)
+			cl.A, cl.B, cl.C = c.disks[r.disk], req, o.span
+			continue
 		}
+		if o.span != nil {
+			name := "write-data"
+			if req.RMW {
+				name = "rmw-data"
+			}
+			req.Span = o.span.Child(name, c.eng.Now())
+			req.Span.SetBlocks(r.blocks)
+		}
+		c.disks[r.disk].Submit(req)
 	}
 }

@@ -67,14 +67,20 @@ func (c *Channel) kick() {
 	c.Waits.Add(sim.Millis(now - t.enqueued))
 	c.NumXfers++
 	c.NumBytes += t.bytes
-	c.eng.After(c.TransferTime(t.bytes), func() {
-		c.busy = false
-		c.Util.SetIdle(c.eng.Now())
-		if t.onDone != nil {
-			t.onDone()
-		}
-		c.kick()
-	})
+	cc := c.eng.AfterCall(c.TransferTime(t.bytes), xferDoneFire)
+	cc.A, cc.B = c, t.onDone
+}
+
+// xferDoneFire completes a channel transfer: A = channel, B = the
+// transfer's onDone func (possibly nil).
+func xferDoneFire(e *sim.Engine, cc *sim.Call) {
+	c := cc.A.(*Channel)
+	c.busy = false
+	c.Util.SetIdle(e.Now())
+	if done := cc.B.(func()); done != nil {
+		done()
+	}
+	c.kick()
 }
 
 // QueueLen returns the number of queued (not in-flight) transfers.

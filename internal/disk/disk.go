@@ -192,18 +192,22 @@ func (d *Disk) Repair() {
 // order on a fresh engine event, with no media time modeled.
 func (d *Disk) drop(r *Request) {
 	d.S.Dropped++
-	d.eng.After(0, func() {
-		r.Span.CloseAt(d.eng.Now())
-		if r.OnStart != nil {
-			r.OnStart()
-		}
-		if r.RMW && r.OnReadDone != nil {
-			r.OnReadDone()
-		}
-		if r.OnDone != nil {
-			r.OnDone()
-		}
-	})
+	c := d.eng.AfterCall(0, dropFire)
+	c.A, c.B = d, r
+}
+
+func dropFire(e *sim.Engine, c *sim.Call) {
+	r := c.B.(*Request)
+	r.Span.CloseAt(e.Now())
+	if r.OnStart != nil {
+		r.OnStart()
+	}
+	if r.RMW && r.OnReadDone != nil {
+		r.OnReadDone()
+	}
+	if r.OnDone != nil {
+		r.OnDone()
+	}
 }
 
 // Submit enqueues a request. It panics on malformed requests — those are
@@ -347,7 +351,8 @@ func (d *Disk) service(r *Request, now sim.Time) {
 
 	if !r.RMW {
 		r.Span.ChildSpan(obs.SpanTransfer, passStart, passEnd)
-		d.eng.At(passEnd, func() { d.finish(r, now) })
+		fc := d.eng.AtCall(passEnd, finishFire)
+		fc.A, fc.B, fc.N0 = d, r, now
 		return
 	}
 	r.Span.ChildSpan(obs.SpanReadOld, passStart, passEnd)
@@ -357,21 +362,39 @@ func (d *Disk) service(r *Request, now sim.Time) {
 	// a whole number of rotations after the read pass began, the first
 	// instant at or after the read pass ends (multi-track runs keep this
 	// alignment because the layout is skewed).
-	d.eng.At(passEnd, func() {
-		if r.OnReadDone != nil {
-			r.OnReadDone()
-		}
-		rot := d.spec.RotationTime()
-		k := (plan.duration + rot - 1) / rot
-		if k < 1 {
-			k = 1
-		}
-		// The gap between the read pass ending and the write pass starting
-		// is rotational repositioning.
-		d.S.RotateTime += k*rot - plan.duration
-		r.Span.ChildSpan(obs.SpanRealign, passEnd, passStart+k*rot)
-		d.rmwWriteAttempt(r, passStart+k*rot, plan.duration, now, 0)
-	})
+	rc := d.eng.AtCall(passEnd, rmwReadDoneFire)
+	rc.A, rc.B = d, r
+	rc.N0, rc.N1 = plan.duration, now
+}
+
+// finishFire completes an access: A = disk, B = request, N0 = service
+// start time.
+func finishFire(_ *sim.Engine, c *sim.Call) {
+	c.A.(*Disk).finish(c.B.(*Request), c.N0)
+}
+
+// rmwReadDoneFire runs at the end of an RMW old-data read pass: A =
+// disk, B = request, N0 = media-pass duration, N1 = service start. The
+// pass start is recovered from the clock (the event fires at pass end).
+func rmwReadDoneFire(e *sim.Engine, c *sim.Call) {
+	d := c.A.(*Disk)
+	r := c.B.(*Request)
+	dur, svcStart := c.N0, c.N1
+	passEnd := e.Now()
+	passStart := passEnd - dur
+	if r.OnReadDone != nil {
+		r.OnReadDone()
+	}
+	rot := d.spec.RotationTime()
+	k := (dur + rot - 1) / rot
+	if k < 1 {
+		k = 1
+	}
+	// The gap between the read pass ending and the write pass starting
+	// is rotational repositioning.
+	d.S.RotateTime += k*rot - dur
+	r.Span.ChildSpan(obs.SpanRealign, passEnd, passStart+k*rot)
+	d.rmwWriteAttempt(r, passStart+k*rot, dur, svcStart, 0)
 }
 
 // maxHeldRotations bounds how long an RMW may hold the mechanism waiting
@@ -385,22 +408,34 @@ const maxHeldRotations = 8
 // rmwWriteAttempt tries to start the RMW write pass at writeStart; if the
 // inputs are not ready the head must make another full rotation.
 func (d *Disk) rmwWriteAttempt(r *Request, writeStart sim.Time, dur sim.Time, svcStart sim.Time, holds int) {
-	d.eng.At(writeStart, func() {
-		if r.Ready != nil && !r.Ready() {
-			d.S.HeldRotations++
-			r.Span.ChildSpan(obs.SpanHold, writeStart, writeStart+d.spec.RotationTime())
-			if holds+1 >= maxHeldRotations {
-				d.S.RMWAborts++
-				d.requeue(r)
-				return
-			}
-			d.rmwWriteAttempt(r, writeStart+d.spec.RotationTime(), dur, svcStart, holds+1)
+	c := d.eng.AtCall(writeStart, rmwWriteFire)
+	c.A, c.B = d, r
+	c.N0, c.N1, c.N2 = dur, svcStart, int64(holds)
+}
+
+// rmwWriteFire runs at an RMW write-pass start attempt: A = disk, B =
+// request, N0 = pass duration, N1 = service start, N2 = rotations held
+// so far. The event fires at the attempted write start.
+func rmwWriteFire(e *sim.Engine, c *sim.Call) {
+	d := c.A.(*Disk)
+	r := c.B.(*Request)
+	dur, svcStart, holds := c.N0, c.N1, int(c.N2)
+	writeStart := e.Now()
+	if r.Ready != nil && !r.Ready() {
+		d.S.HeldRotations++
+		r.Span.ChildSpan(obs.SpanHold, writeStart, writeStart+d.spec.RotationTime())
+		if holds+1 >= maxHeldRotations {
+			d.S.RMWAborts++
+			d.requeue(r)
 			return
 		}
-		d.S.TransferTime += dur
-		r.Span.ChildSpan(obs.SpanWriteNew, writeStart, writeStart+dur)
-		d.eng.At(writeStart+dur, func() { d.finish(r, svcStart) })
-	})
+		d.rmwWriteAttempt(r, writeStart+d.spec.RotationTime(), dur, svcStart, holds+1)
+		return
+	}
+	d.S.TransferTime += dur
+	r.Span.ChildSpan(obs.SpanWriteNew, writeStart, writeStart+dur)
+	fc := d.eng.AtCall(writeStart+dur, finishFire)
+	fc.A, fc.B, fc.N0 = d, r, svcStart
 }
 
 // requeue releases the mechanism and puts the request at the back of its

@@ -228,3 +228,38 @@ func TestZipfPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestZipfProbBounds: out-of-range ranks have probability zero instead
+// of panicking with an index error (regression: Prob(-1) and Prob(n)
+// used to crash).
+func TestZipfProbBounds(t *testing.T) {
+	z := NewZipf(10, 0.8)
+	cases := []struct {
+		rank int
+		zero bool
+	}{
+		{-1, true},
+		{0, false},
+		{9, false}, // n-1: last valid rank
+		{10, true}, // n
+		{11, true}, // past n
+		{-100, true},
+	}
+	for _, c := range cases {
+		got := z.Prob(c.rank)
+		if c.zero && got != 0 {
+			t.Errorf("Prob(%d) = %f, want 0", c.rank, got)
+		}
+		if !c.zero && got <= 0 {
+			t.Errorf("Prob(%d) = %f, want > 0", c.rank, got)
+		}
+	}
+	// In-range probabilities still sum to 1.
+	var total float64
+	for r := 0; r < z.N(); r++ {
+		total += z.Prob(r)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("probs sum to %f, want 1", total)
+	}
+}

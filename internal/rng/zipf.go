@@ -49,8 +49,13 @@ func (z *Zipf) Sample(src *Source) int {
 	return sort.SearchFloat64s(z.cdf, u)
 }
 
-// Prob returns the probability of the given rank.
+// Prob returns the probability of the given rank. Out-of-range ranks
+// (negative or >= N) have probability 0 — callers probing "how hot
+// would rank r be" must not have to bounds-check first.
 func (z *Zipf) Prob(rank int) float64 {
+	if rank < 0 || rank >= len(z.cdf) {
+		return 0
+	}
 	if rank == 0 {
 		return z.cdf[0]
 	}

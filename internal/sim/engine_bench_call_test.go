@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// benchEngineCalls is the AtCall counterpart of the closure depth sweep:
+// each fired Call schedules its replacement through the free list, so
+// steady state performs zero allocations.
+func benchEngineCalls(b *testing.B, depth int) {
+	eng := New()
+	n := 0
+	var fire func(*Engine, *Call)
+	fire = func(e *Engine, c *Call) {
+		n++
+		if n < b.N {
+			e.AfterCall(1000, fire)
+		}
+	}
+	for i := 0; i < depth-1; i++ {
+		eng.At(Time(1)<<40+Time(i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.AfterCall(1, fire)
+	for n < b.N {
+		if !eng.Step() {
+			b.Fatal("engine drained early")
+		}
+	}
+}

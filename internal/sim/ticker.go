@@ -21,15 +21,20 @@ func NewTicker(eng *Engine, period Time, fn func()) *Ticker {
 }
 
 func (t *Ticker) arm() {
-	t.eng.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.eng.AfterCall(t.period, tickerFire).A = t
+}
+
+// tickerFire is the ticker's periodic event: fire the callback and
+// re-arm, from a recycled Call so steady ticking allocates nothing.
+func tickerFire(_ *Engine, c *Call) {
+	t := c.A.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // Stop cancels future firings. A firing already dispatched for the current

@@ -161,6 +161,13 @@ func (h *histogram) quantile(q float64, min, max float64) float64 {
 	if total == 0 {
 		return 0
 	}
+	if min > max {
+		// Degenerate bounds (e.g. summaries assembled from partial state,
+		// or merged in an order that never saw a real sample range): treat
+		// the observed range as [max, min] so the result stays inside it
+		// and remains monotone in q.
+		min, max = max, min
+	}
 	if q <= 0 {
 		return min
 	}

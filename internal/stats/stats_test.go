@@ -161,3 +161,98 @@ func TestUtilizationStartsAtFirstObservation(t *testing.T) {
 		t.Fatalf("utilization = %f, want 0.5 over [1000,2000]", got)
 	}
 }
+
+// TestUtilizationIdleObservationAtZero: an observation at t=0 must count
+// as the first observation. The old zero-value sentinel (last == 0 &&
+// total == 0 && !busy) could not tell "never observed" from "observed
+// idle at t=0", so a later SetBusy silently moved started forward and
+// inflated Value.
+func TestUtilizationIdleObservationAtZero(t *testing.T) {
+	var u Utilization
+	u.SetIdle(0) // idle server observed at the start of the run
+	u.SetBusy(100)
+	u.SetIdle(200)
+	if got := u.BusyTime(200); got != 100 {
+		t.Fatalf("busy time = %d, want 100", got)
+	}
+	// Observed since t=0: busy 100 of 200, not 100 of 100.
+	if got := u.Value(200); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization = %f, want 0.5 over [0,200]", got)
+	}
+}
+
+// TestUtilizationZeroLengthBusyAtZero: SetBusy(0) immediately followed by
+// SetIdle(0) leaves every field zero; the next observation must not be
+// mistaken for the first.
+func TestUtilizationZeroLengthBusyAtZero(t *testing.T) {
+	var u Utilization
+	u.SetBusy(0)
+	u.SetIdle(0)
+	u.SetBusy(10)
+	u.SetIdle(20)
+	if got := u.Value(20); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization = %f, want 0.5 over [0,20]", got)
+	}
+}
+
+// TestUtilizationBusyFirstAtZero: the common order (busy first) starting
+// at t=0 must behave identically before and after the sentinel fix.
+func TestUtilizationBusyFirstAtZero(t *testing.T) {
+	var u Utilization
+	u.SetBusy(0)
+	u.SetIdle(50)
+	if got := u.Value(100); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization = %f, want 0.5 over [0,100]", got)
+	}
+}
+
+// TestQuantileMonotoneAndBounded: for arbitrary sample sets, Quantile
+// must be non-decreasing in q and always land inside [Min, Max].
+func TestQuantileMonotoneAndBounded(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range raw {
+			// Spread samples across the histogram's geometric range,
+			// including the sub-histLo underflow bin.
+			s.Add(float64(v) / 1e4)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := s.Quantile(q)
+			if v < prev {
+				return false
+			}
+			if v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileDegenerateBounds: a min > max pair (summaries assembled
+// from partial state) must not break the range clamp or monotonicity —
+// the histogram treats the observed range as [max, min].
+func TestQuantileDegenerateBounds(t *testing.T) {
+	var h histogram
+	h.add(4.0)
+	lo, hi := 3.0, 5.0 // inverted: passed as min=5, max=3
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.quantile(q, hi, lo)
+		if v < lo || v > hi {
+			t.Fatalf("q=%.2f: %f outside [%f,%f]", q, v, lo, hi)
+		}
+		if v < prev {
+			t.Fatalf("q=%.2f: quantile decreased (%f after %f)", q, v, prev)
+		}
+		prev = v
+	}
+}

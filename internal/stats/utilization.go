@@ -7,6 +7,7 @@ import "raidsim/internal/sim"
 type Utilization struct {
 	busySince sim.Time
 	busy      bool
+	seen      bool // an observation has been recorded
 	total     sim.Time
 	started   sim.Time // first observation, for the denominator
 	last      sim.Time
@@ -32,7 +33,13 @@ func (u *Utilization) SetIdle(t sim.Time) {
 }
 
 func (u *Utilization) observe(t sim.Time) {
-	if u.last == 0 && u.total == 0 && !u.busy {
+	// An explicit flag, not a zero-value sentinel: activity starting at
+	// t=0 (SetIdle(0), or SetBusy(0) immediately followed by SetIdle(0))
+	// leaves every field zero, and a sentinel would mistake the next
+	// observation for the first, silently moving started forward and
+	// inflating Value.
+	if !u.seen {
+		u.seen = true
 		u.started = t
 	}
 	if t > u.last {

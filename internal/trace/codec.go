@@ -199,11 +199,19 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if count > 1<<31 {
 		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
 	}
+	// The declared count bounds the decode loop, but a hostile header can
+	// claim 2^31 records with no payload behind it — cap the preallocation
+	// hint so that costs an EOF error, not a multi-GiB allocation. append
+	// grows the slice normally for genuinely large traces.
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
 	t := &Trace{
 		Name:          string(name),
 		NumDisks:      int(nd),
 		BlocksPerDisk: int64(bpd),
-		Records:       make([]Record, 0, count),
+		Records:       make([]Record, 0, capHint),
 	}
 	var at sim.Time
 	var lba int64
