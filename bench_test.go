@@ -301,18 +301,21 @@ func BenchmarkArraySubmit(b *testing.B) {
 		cached bool
 		obs    bool
 		spans  bool
+		robust bool
 	}{
-		{"base", array.OrgBase, false, false, false},
-		{"mirror", array.OrgMirror, false, false, false},
-		{"raid10", array.OrgRAID10, false, false, false},
-		{"raid5", array.OrgRAID5, false, false, false},
-		{"pstripe", array.OrgParityStriping, false, false, false},
-		{"raid5cached", array.OrgRAID5, true, false, false},
-		{"raid4cached", array.OrgRAID4, true, false, false},
-		{"raid5Obs", array.OrgRAID5, false, true, false},
-		{"raid5cachedObs", array.OrgRAID5, true, true, false},
-		{"raid5Spans", array.OrgRAID5, false, true, true},
-		{"raid5cachedSpans", array.OrgRAID5, true, true, true},
+		{"base", array.OrgBase, false, false, false, false},
+		{"mirror", array.OrgMirror, false, false, false, false},
+		{"raid10", array.OrgRAID10, false, false, false, false},
+		{"raid5", array.OrgRAID5, false, false, false, false},
+		{"pstripe", array.OrgParityStriping, false, false, false, false},
+		{"raid5cached", array.OrgRAID5, true, false, false, false},
+		{"raid4cached", array.OrgRAID4, true, false, false, false},
+		{"raid5Obs", array.OrgRAID5, false, true, false, false},
+		{"raid5cachedObs", array.OrgRAID5, true, true, false, false},
+		{"raid5Spans", array.OrgRAID5, false, true, true, false},
+		{"raid5cachedSpans", array.OrgRAID5, true, true, true, false},
+		{"raid5Robust", array.OrgRAID5, false, false, false, true},
+		{"raid5cachedRobust", array.OrgRAID5, true, false, false, true},
 	}
 	for _, p := range points {
 		b.Run(p.name, func(b *testing.B) {
@@ -325,10 +328,16 @@ func BenchmarkArraySubmit(b *testing.B) {
 				}
 				rec = obs.NewRecorder(oc)
 			}
-			ctrl, err := array.New(eng, array.Config{
+			cfg := array.Config{
 				Org: p.org, N: 10, Spec: geom.Default(), Sync: array.DF,
 				Cached: p.cached, CacheBlocks: 4096, Seed: 1, Rec: rec,
-			})
+			}
+			if p.robust {
+				// Deadline accounting plus an (idle, no transient errors)
+				// retry budget: the robustness layer's always-on cost.
+				cfg.Robust = array.RobustConfig{Deadline: 60 * sim.Millisecond, Retries: 2}
+			}
+			ctrl, err := array.New(eng, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -385,7 +394,10 @@ func BenchmarkEventEngine(b *testing.B) {
 func BenchmarkDiskService(b *testing.B) {
 	eng := sim.New()
 	spec := geom.Default()
-	d := disk.New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0.5)
+	d, err := disk.New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
 	src := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

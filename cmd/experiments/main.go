@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"raidsim/internal/array"
 	"raidsim/internal/cliflag"
 	"raidsim/internal/exp"
 	"raidsim/internal/obs"
@@ -40,6 +41,14 @@ func main() {
 		obsTrace  = flag.Int("obs-trace", 0, "retain up to this many observability events per run (0 = off)")
 		traceTopK = flag.Int("trace-topk", 0, "trace per-request span trees in every run, keeping the slowest K per class (0 = off)")
 		httpAddr  = flag.String("http", "", "serve live /metrics (Prometheus text) and /debug/pprof on this address while experiments run")
+
+		deadline      = flag.Duration("deadline", 0, "score every run's gold-class completions against this deadline (0 = off)")
+		batchDeadline = flag.Duration("batch-deadline", 0, "batch-class deadline (0 = use -deadline)")
+		retries       = flag.Int("retries", 0, "retry transient media errors up to N times in every run")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge mirror reads still unanswered after this delay in every run (0 = off)")
+		hedgeQuantile = flag.Float64("hedge-quantile", 0, "derive the hedge delay from this read-response quantile (0 = fixed)")
+		shedQueue     = flag.Int("shed-queue", 0, "shed batch-class requests while total disk queue depth >= N (0 = off)")
+		shedDirty     = flag.Float64("shed-dirty", 0, "shed batch-class requests while cache dirty fraction >= this (0 = off)")
 	)
 	prof := cliflag.BindProfile(flag.CommandLine)
 	flag.Parse()
@@ -104,6 +113,15 @@ func main() {
 			CSV:    *csv,
 			Plot:   *plot,
 			Obs:    obs.Config{Window: sim.Time(*obsWindow), TraceCap: *obsTrace, SpanTopK: *traceTopK, Live: live},
+			Robust: array.RobustConfig{
+				Deadline:      sim.Time(*deadline),
+				BatchDeadline: sim.Time(*batchDeadline),
+				Retries:       *retries,
+				HedgeAfter:    sim.Time(*hedgeAfter),
+				HedgeQuantile: *hedgeQuantile,
+				ShedQueue:     *shedQueue,
+				ShedDirty:     *shedDirty,
+			},
 		})
 	}
 	var ctx *exp.Context

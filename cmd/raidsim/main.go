@@ -308,9 +308,24 @@ func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk b
 		if f.FailoverReads > 0 {
 			t.AddRow("failover reads", fmt.Sprintf("%d", f.FailoverReads))
 		}
+		if f.SickOnsets > 0 {
+			t.AddRow("sick-disk episodes", fmt.Sprintf("%d onset(s), %d cleared", f.SickOnsets, f.SickClears))
+			if f.Hangs > 0 {
+				t.AddRow("sick-disk hangs", fmt.Sprintf("%d", f.Hangs))
+			}
+			if f.TransientErrors > 0 {
+				t.AddRow("transient read errors", fmt.Sprintf("%d", f.TransientErrors))
+			}
+		}
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		fatal(err)
+	}
+
+	if res.Robust.Enabled {
+		if err := report.RobustTable("request robustness (SLO)", &res.Robust).Render(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 
 	if perDisk {

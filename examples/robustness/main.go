@@ -1,0 +1,90 @@
+// Robustness: a drive turns sick mid-run — 8x slower, 5% transient
+// read errors, a half-second freeze every 10 seconds — and the example
+// measures what each defense buys on a RAID1/0 array: deadline
+// accounting alone (the naive baseline), bounded retries with backoff,
+// and hedged reads racing the mirror twin. The punchline mirrors
+// DESIGN.md §3.5: retries absorb the flaky reads before they escalate
+// into fallback traffic, and hedging clips the tail the slow drive
+// creates, all with zero data loss because exhausted retries land on
+// the redundancy path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"raidsim/internal/array"
+	"raidsim/internal/core"
+	"raidsim/internal/fault"
+	"raidsim/internal/geom"
+	"raidsim/internal/report"
+	"raidsim/internal/sim"
+	"raidsim/internal/workload"
+)
+
+func main() {
+	prof := workload.Trace2Profile().Scaled(0.3)
+	tr, err := workload.Generate(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dur := tr.Duration()
+
+	sick := fault.SickDisk{
+		Disk:          0,
+		At:            dur / 6,
+		Until:         5 * dur / 6,
+		SlowFactor:    8,
+		TransientRate: 0.05,
+		HangEvery:     10 * sim.Second,
+		HangFor:       500 * sim.Millisecond,
+	}
+	base := core.Config{
+		Org: array.OrgRAID10, DataDisks: prof.NumDisks, N: 5,
+		StripingUnit: 4,
+		Spec:         geom.Default(), Sync: array.DF, Seed: 1,
+		Fault: fault.Config{SickDisks: []fault.SickDisk{sick}},
+	}
+
+	type variant struct {
+		name string
+		mod  func(*core.Config)
+	}
+	variants := []variant{
+		{"naive", func(*core.Config) {}},
+		{"retries", func(c *core.Config) { c.Robust.Retries = 2 }},
+		{"retries+hedge", func(c *core.Config) {
+			c.Robust.Retries = 2
+			c.Robust.HedgeAfter = 20 * sim.Millisecond
+			c.Robust.HedgeQuantile = 0.95
+		}},
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("RAID1/0 with a sick disk (8x slow, 5%% flaky, hanging) for the middle 2/3 of %ds", dur/sim.Second),
+		Columns: []string{"defense", "mean ms", "gold p95", "miss% @60ms", "retries", "hedge wins", "lost blocks"},
+	}
+	for _, v := range variants {
+		cfg := base
+		cfg.Robust.Deadline = 60 * sim.Millisecond
+		v.mod(&cfg)
+		res, err := core.Run(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rb := &res.Robust
+		t.AddRow(v.name,
+			fmt.Sprintf("%.2f", res.MeanResponseMS()),
+			fmt.Sprintf("%.2f", rb.ClassResp[array.SLOGold].Quantile(0.95)),
+			fmt.Sprintf("%.2f%%", 100*rb.DeadlineMissFrac(array.SLOGold)),
+			fmt.Sprintf("%d", rb.Retries),
+			fmt.Sprintf("%d", rb.HedgeWins),
+			fmt.Sprintf("%d", res.Fault.LostReadBlocks+res.Fault.LostWriteBlocks))
+	}
+	t.AddNote("deadline accounting is pure observation: the naive row measures the same run it would without -deadline")
+	t.AddNote("zero lost blocks everywhere: exhausted retries fall back to the mirror twin")
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

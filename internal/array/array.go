@@ -210,6 +210,11 @@ type Config struct {
 	RebuildChunk int
 	RebuildPause sim.Time
 
+	// Robust configures the request-robustness layer: deadlines, retry
+	// of transient errors, hedged reads, and overload shedding. The zero
+	// value disables everything.
+	Robust RobustConfig
+
 	// Rec, when non-nil, receives windowed time-series observations
 	// (latency histograms, utilization, queue depth, destage and rebuild
 	// traffic). A nil Rec leaves the simulation bit-identical.
@@ -251,6 +256,10 @@ func (c *Config) fillDefaults() error {
 	if err := c.Fault.Validate(); err != nil {
 		return err
 	}
+	if err := c.Robust.Validate(); err != nil {
+		return err
+	}
+	c.Robust.fillDefaults()
 	return nil
 }
 
@@ -259,9 +268,14 @@ type Request struct {
 	Op     trace.Op
 	LBA    int64
 	Blocks int
+	// Class is the request's SLO class (gold by default): it selects the
+	// deadline the response is measured against and whether admission
+	// control may shed the request under overload.
+	Class SLOClass
 	// OnComplete, when non-nil, fires when the request's response
 	// completes. Closed-loop drivers hook it to keep a fixed number of
-	// requests outstanding.
+	// requests outstanding. It also fires (asynchronously) when the
+	// request is shed at admission.
 	OnComplete func()
 }
 
@@ -305,6 +319,7 @@ type Results struct {
 	NormalResp   stats.Summary
 	DegradedResp stats.Summary
 	Fault        FaultResults
+	Robust       RobustResults
 
 	// Per-request cache accounting (multiblock counts as a hit only if
 	// every block hit, as in the paper).
@@ -488,6 +503,7 @@ type common struct {
 	dirtyFrac func() float64
 
 	fs faultState
+	rb robustState
 }
 
 func newCommon(eng *sim.Engine, cfg Config, ndisks int) (*common, error) {
@@ -513,14 +529,20 @@ func newCommon(eng *sim.Engine, cfg Config, ndisks int) (*common, error) {
 		if !cfg.SyncSpindles {
 			phase = src.Float64()
 		}
-		c.disks[i] = disk.New(eng, i, cfg.Spec, cfg.Seek, phase)
-		c.disks[i].SetSched(cfg.DiskSched)
+		c.disks[i], err = disk.New(eng, i, cfg.Spec, cfg.Seek, phase)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.disks[i].SetSched(cfg.DiskSched); err != nil {
+			return nil, err
+		}
 	}
 	c.fs.failed = make([]bool, ndisks)
 	c.fs.rebuilding = make([]bool, ndisks)
 	c.fs.rbSpan = make([]*obs.Span, ndisks)
 	c.fs.spares = cfg.Spares
 	c.tr = cfg.Rec.Tracer()
+	c.initRobust()
 	c.armObs()
 	return c, nil
 }
@@ -585,6 +607,9 @@ func (c *common) finish(r Request, start sim.Time, sp *obs.Span) {
 			c.normResp.Add(ms)
 		}
 	}
+	if c.rb.on {
+		c.finishRobust(r, start)
+	}
 	c.tr.Finish(sp, c.eng.Now(), c.fs.degraded.Active())
 	c.inflight--
 	if r.OnComplete != nil {
@@ -592,8 +617,9 @@ func (c *common) finish(r Request, start sim.Time, sp *obs.Span) {
 	}
 }
 
-// Drained implements Controller.
-func (c *common) Drained() bool { return c.inflight == 0 }
+// Drained implements Controller. A losing hedge leg outlives its
+// request; it still occupies a drive, so it holds the drain too.
+func (c *common) Drained() bool { return c.inflight == 0 && c.rb.hedgeLegs == 0 }
 
 // chanXfer moves n blocks over the array channel.
 func (c *common) chanXfer(n int, onDone func()) {
@@ -627,6 +653,7 @@ func (c *common) baseResults(org Org) *Results {
 		NormalResp:     c.normResp,
 		DegradedResp:   c.degResp,
 		Fault:          c.faultResults(),
+		Robust:         c.robustResults(),
 		Stages:         c.stages,
 	}
 	now := c.eng.Now()

@@ -225,6 +225,9 @@ func makeRoomRetryFire(_ *sim.Engine, cl *sim.Call) {
 // Submit implements Controller.
 func (cc *cachedCtrl) Submit(r Request) {
 	cc.checkRequest(r, cc.s.dataBlocks())
+	if cc.maybeShed(r) {
+		return
+	}
 	start, sp := cc.begin(r.Op != trace.Read)
 	if r.Op == trace.Read {
 		cc.read(r, start, sp)

@@ -41,6 +41,12 @@ type faultState struct {
 	sectorRetries      int64
 	sectorReconstructs int64
 	failoverReads      int64
+
+	// Sick-disk accounting (drives that limp without dying).
+	sickOnsets      int64
+	sickClears      int64
+	hangs           int64
+	transientErrors int64
 }
 
 // FaultResults snapshots the fault-injection accounting for reports.
@@ -65,6 +71,11 @@ type FaultResults struct {
 	SectorRetries      int64
 	SectorReconstructs int64
 	FailoverReads      int64 // mirror reads redirected to the surviving copy
+
+	SickOnsets      int64 // sick-disk episodes that started
+	SickClears      int64 // sick-disk episodes that ended
+	Hangs           int64 // intermittent drive freezes injected
+	TransientErrors int64 // media passes that failed transiently
 }
 
 func (c *common) degradedNow() bool { return c.fs.nfailed > 0 }
@@ -127,6 +138,41 @@ func (c *common) FailCache() {
 	}
 	c.fs.cacheFailures++
 	c.fs.onCacheFail()
+}
+
+// SickDisk implements fault.SickHandler: slot d starts limping now —
+// slower service and (via the injector's transient sampling) flaky media
+// passes. A dead slot can still turn sick; the symptoms apply to the
+// spare if one is swapped in.
+func (c *common) SickDisk(s fault.SickDisk) {
+	if s.Disk < 0 || s.Disk >= len(c.disks) {
+		return
+	}
+	c.fs.sickOnsets++
+	if s.SlowFactor > 1 {
+		c.disks[s.Disk].SetSlowFactor(s.SlowFactor)
+	}
+	c.cfg.Rec.Note(obs.Event{At: c.eng.Now(), Kind: obs.EvSickOnset, Disk: s.Disk})
+}
+
+// SickClear implements fault.SickHandler: slot d recovers.
+func (c *common) SickClear(d int) {
+	if d < 0 || d >= len(c.disks) {
+		return
+	}
+	c.fs.sickClears++
+	c.disks[d].SetSlowFactor(1)
+	c.cfg.Rec.Note(obs.Event{At: c.eng.Now(), Kind: obs.EvSickClear, Disk: d})
+}
+
+// HangDisk implements fault.SickHandler: slot d freezes until the given
+// time (in-flight service finishes; nothing new is scheduled).
+func (c *common) HangDisk(d int, until sim.Time) {
+	if d < 0 || d >= len(c.disks) {
+		return
+	}
+	c.fs.hangs++
+	c.disks[d].Hang(until)
 }
 
 // completeRepair puts slot d back in service.
@@ -242,16 +288,43 @@ func (c *common) readRun(rn run, pri disk.Priority, op *obs.Span, onDone func())
 		c.fallbackRead(rn, pri, op, onDone)
 		return
 	}
-	c.mediaRead(rn, pri, 0, op, onDone)
+	c.mediaRead(rn, pri, 0, 0, op, onDone)
 }
 
-func (c *common) mediaRead(rn run, pri disk.Priority, tries int, op *obs.Span, onDone func()) {
+// mediaRead issues one device read pass. tries counts latent-sector-
+// error retries (injector-bounded), att counts transient-error retries
+// (robustness-layer-bounded, with backoff) — independent budgets for
+// independent failure modes.
+func (c *common) mediaRead(rn run, pri disk.Priority, tries, att int, op *obs.Span, onDone func()) {
 	c.disks[rn.disk].Submit(&disk.Request{
 		StartBlock: rn.start, Blocks: rn.blocks, Priority: pri, Span: op,
 		OnDone: func() {
 			// The drive may have died while this access was queued (it was
 			// dropped) — the "data" cannot be trusted either way.
 			if c.fs.nfailed > 0 && c.fs.failed[rn.disk] {
+				c.fallbackRead(rn, pri, op, onDone)
+				return
+			}
+			if c.fs.inj != nil && c.fs.inj.TransientFaulty(rn.disk, rn.blocks) {
+				c.fs.transientErrors++
+				if att < c.rb.cfg.Retries {
+					c.rb.retries++
+					c.cfg.Rec.Retry(c.eng.Now(), rn.disk, att+1)
+					issuedAt := c.eng.Now()
+					c.eng.After(c.retryDelay(att), func() {
+						if now := c.eng.Now(); now > issuedAt {
+							op.ChildSpan("retry-backoff", issuedAt, now)
+						}
+						c.mediaRead(rn, pri, tries, att+1, op, onDone)
+					})
+					return
+				}
+				// Budget spent (or no retries configured): recover the run
+				// from redundancy instead of hammering the sick drive.
+				if c.rb.cfg.Retries > 0 {
+					c.rb.retriesExhausted++
+					c.rb.attemptsExhausted += int64(c.rb.cfg.Retries)
+				}
 				c.fallbackRead(rn, pri, op, onDone)
 				return
 			}
@@ -262,7 +335,7 @@ func (c *common) mediaRead(rn run, pri disk.Priority, tries int, op *obs.Span, o
 			c.fs.sectorErrors++
 			if tries < c.fs.inj.MaxReadRetries() {
 				c.fs.sectorRetries++
-				c.mediaRead(rn, pri, tries+1, op, onDone)
+				c.mediaRead(rn, pri, tries+1, att, op, onDone)
 				return
 			}
 			c.fs.sectorReconstructs++
@@ -327,5 +400,9 @@ func (c *common) faultResults() FaultResults {
 		SectorRetries:      c.fs.sectorRetries,
 		SectorReconstructs: c.fs.sectorReconstructs,
 		FailoverReads:      c.fs.failoverReads,
+		SickOnsets:         c.fs.sickOnsets,
+		SickClears:         c.fs.sickClears,
+		Hangs:              c.fs.hangs,
+		TransientErrors:    c.fs.transientErrors,
 	}
 }

@@ -79,6 +79,9 @@ func (sc *schemeCtrl) Results() *Results { return sc.baseResults(sc.s.org()) }
 // Submit implements Controller.
 func (sc *schemeCtrl) Submit(r Request) {
 	sc.checkRequest(r, sc.s.dataBlocks())
+	if sc.maybeShed(r) {
+		return
+	}
 	start, sp := sc.begin(r.Op != trace.Read)
 	lbas := spanLBAs(r.LBA, r.Blocks)
 	if r.Op == trace.Read {
@@ -112,7 +115,7 @@ func (c *common) readRuns(runs []run, totalBlocks int, sp *obs.Span, onDone func
 				op = sp.Child("read-data", c.eng.Now())
 				op.SetBlocks(rn.blocks)
 			}
-			c.readRun(rn, disk.PriNormal, op, done.done)
+			c.readRunHedged(rn, disk.PriNormal, op, done.done)
 		}
 	})
 }

@@ -105,6 +105,6 @@ func (s *mirrorScheme) readFallback(rn run, pri disk.Priority, op *obs.Span, onD
 		leg = op.Child("failover-read", s.c.eng.Now())
 		leg.SetBlocks(rn.blocks)
 	}
-	s.c.mediaRead(run{disk: alt, start: rn.start, blocks: rn.blocks}, pri, 0, leg, onDone)
+	s.c.mediaRead(run{disk: alt, start: rn.start, blocks: rn.blocks}, pri, 0, 0, leg, onDone)
 	return true
 }

@@ -112,7 +112,7 @@ func (c *common) parityReadFallback(lay layout.ParityLayout, rn run, pri disk.Pr
 			leg = op.Child("reconstruct", c.eng.Now())
 			leg.SetBlocks(1)
 		}
-		c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, leg, done.done)
+		c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, 0, leg, done.done)
 	}
 	return true
 }
@@ -190,7 +190,7 @@ func (c *common) degradedWriteBlock(lay layout.ParityLayout, l int64, pri disk.P
 			})
 		})
 		for _, s := range srcs {
-			c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, opSpan("reconstruct"), read.done)
+			c.mediaRead(run{disk: s.Disk, start: s.Block, blocks: 1}, pri, 0, 0, opSpan("reconstruct"), read.done)
 		}
 	case parityDown:
 		c.disks[home.Disk].Submit(&disk.Request{

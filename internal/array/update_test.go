@@ -121,7 +121,10 @@ func TestUpdateStaggerSpacesDataRuns(t *testing.T) {
 func TestRMWAbortRequeues(t *testing.T) {
 	eng := sim.New()
 	spec := geom.Default()
-	d := disk.New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
+	d, err := disk.New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ready := false
 	var rmwDone, otherDone sim.Time
 	d.Submit(&disk.Request{

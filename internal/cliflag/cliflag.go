@@ -52,6 +52,23 @@ type Binding struct {
 	obsWindow *time.Duration
 	obsTrace  *int
 	traceTopK *int
+
+	deadline      *time.Duration
+	batchDeadline *time.Duration
+	retries       *int
+	retryBackoff  *time.Duration
+	hedgeAfter    *time.Duration
+	hedgeQuantile *float64
+	shedQueue     *int
+	shedDirty     *float64
+
+	sickDisk      *int
+	sickAt        *time.Duration
+	sickUntil     *time.Duration
+	slowFactor    *float64
+	transientRate *float64
+	hangEvery     *time.Duration
+	hangFor       *time.Duration
 }
 
 // Bind registers the shared simulation flags on fs. Call Config or Apply
@@ -84,6 +101,23 @@ func Bind(fs *flag.FlagSet) *Binding {
 		obsWindow: fs.Duration("obs-window", 0, "record a windowed time series with this window width (e.g. 1s; 0 = off)"),
 		obsTrace:  fs.Int("obs-trace", 0, "keep the newest N observability events for JSONL export (0 = off)"),
 		traceTopK: fs.Int("trace-topk", 0, "trace per-request span trees, keeping the slowest K per class (0 = off)"),
+
+		deadline:      fs.Duration("deadline", 0, "gold-class response deadline (e.g. 100ms; 0 = off)"),
+		batchDeadline: fs.Duration("batch-deadline", 0, "batch-class response deadline (0 = use -deadline)"),
+		retries:       fs.Int("retries", 0, "retry a transient read error up to N times before redundancy fallback"),
+		retryBackoff:  fs.Duration("retry-backoff", 0, "base retry backoff, doubled per attempt with jitter (default 1ms)"),
+		hedgeAfter:    fs.Duration("hedge-after", 0, "hedge mirror reads still unanswered after this delay (0 = off)"),
+		hedgeQuantile: fs.Float64("hedge-quantile", 0, "derive the hedge delay from this read-response quantile, e.g. 0.95 (0 = fixed)"),
+		shedQueue:     fs.Int("shed-queue", 0, "shed batch-class requests while total disk queue depth >= N (0 = off)"),
+		shedDirty:     fs.Float64("shed-dirty", 0, "shed batch-class requests while cache dirty fraction >= this (0 = off)"),
+
+		sickDisk:      fs.Int("sick-disk", -1, "physical disk that turns sick (array-major numbering; -1 = none)"),
+		sickAt:        fs.Duration("sick-at", 0, "when the sick disk's symptoms start"),
+		sickUntil:     fs.Duration("sick-until", 0, "when the sickness clears (0 = never)"),
+		slowFactor:    fs.Float64("slow-factor", 0, "sick disk serves this many times slower (<=1 = no slowdown)"),
+		transientRate: fs.Float64("transient-rate", 0, "per-block probability a sick disk's media pass fails transiently"),
+		hangEvery:     fs.Duration("hang-every", 0, "sick disk freezes at this period (0 = never)"),
+		hangFor:       fs.Duration("hang-for", 0, "duration of each sick-disk freeze"),
 	}
 }
 
@@ -193,6 +227,41 @@ func (b *Binding) Apply(cfg *core.Config) error {
 	if set["fail-at"] && *b.failAt > 0 {
 		cfg.Fault.DiskFails = append(cfg.Fault.DiskFails,
 			fault.DiskFail{Disk: *b.failDisk, At: sim.Time(*b.failAt)})
+	}
+	if set["deadline"] {
+		cfg.Robust.Deadline = sim.Time(*b.deadline)
+	}
+	if set["batch-deadline"] {
+		cfg.Robust.BatchDeadline = sim.Time(*b.batchDeadline)
+	}
+	if set["retries"] {
+		cfg.Robust.Retries = *b.retries
+	}
+	if set["retry-backoff"] {
+		cfg.Robust.RetryBackoff = sim.Time(*b.retryBackoff)
+	}
+	if set["hedge-after"] {
+		cfg.Robust.HedgeAfter = sim.Time(*b.hedgeAfter)
+	}
+	if set["hedge-quantile"] {
+		cfg.Robust.HedgeQuantile = *b.hedgeQuantile
+	}
+	if set["shed-queue"] {
+		cfg.Robust.ShedQueue = *b.shedQueue
+	}
+	if set["shed-dirty"] {
+		cfg.Robust.ShedDirty = *b.shedDirty
+	}
+	if set["sick-disk"] && *b.sickDisk >= 0 {
+		cfg.Fault.SickDisks = append(cfg.Fault.SickDisks, fault.SickDisk{
+			Disk:          *b.sickDisk,
+			At:            sim.Time(*b.sickAt),
+			Until:         sim.Time(*b.sickUntil),
+			SlowFactor:    *b.slowFactor,
+			TransientRate: *b.transientRate,
+			HangEvery:     sim.Time(*b.hangEvery),
+			HangFor:       sim.Time(*b.hangFor),
+		})
 	}
 	if set["obs-window"] {
 		cfg.Obs.Window = sim.Time(*b.obsWindow)

@@ -124,6 +124,7 @@ func runOneArrayClosed(cfg array.Config, sub *trace.Trace, cl ClosedLoopConfig) 
 		}
 		ctrl.Submit(array.Request{
 			Op: r.Op, LBA: lba, Blocks: blocks,
+			Class: array.ClassifyBlocks(blocks),
 			OnComplete: func() {
 				if cl.ThinkTime > 0 {
 					eng.After(cl.ThinkTime, submitNext)

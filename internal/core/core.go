@@ -71,6 +71,11 @@ type Config struct {
 	RebuildChunk int
 	RebuildPause sim.Time
 
+	// Robust configures the request-robustness layer (deadlines, retry,
+	// hedged reads, overload shedding), applied to every array. The zero
+	// value disables it and leaves simulations bit-identical.
+	Robust array.RobustConfig
+
 	// Obs configures the windowed time-series observability layer. The
 	// zero value disables it, leaving every simulation bit-identical;
 	// Obs.Disks is derived per array and ignored here.
@@ -93,6 +98,9 @@ func (c Config) Validate() error {
 	}
 	if c.Spares < 0 {
 		return fmt.Errorf("core: negative spare count %d", c.Spares)
+	}
+	if err := c.Robust.Validate(); err != nil {
+		return err
 	}
 	return c.Fault.Validate()
 }
@@ -152,6 +160,7 @@ func (c Config) arrayConfig(group, disks int, fc fault.Config) array.Config {
 		Spares:           c.Spares,
 		RebuildChunk:     c.RebuildChunk,
 		RebuildPause:     c.RebuildPause,
+		Robust:           c.Robust,
 	}
 }
 
@@ -207,6 +216,11 @@ func (c Config) groupFaults(widths []int) ([]fault.Config, error) {
 			return nil, fmt.Errorf("core: fault disk %d out of range; system has %d physical disks", f.Disk, total)
 		}
 	}
+	for _, s := range c.Fault.SickDisks {
+		if s.Disk >= total {
+			return nil, fmt.Errorf("core: sick disk %d out of range; system has %d physical disks", s.Disk, total)
+		}
+	}
 	offset := 0
 	for g, w := range widths {
 		pw := c.physWidth(w)
@@ -216,6 +230,13 @@ func (c Config) groupFaults(widths []int) ([]fault.Config, error) {
 			if f.Disk >= offset && f.Disk < offset+pw {
 				f.Disk -= offset
 				fc.DiskFails = append(fc.DiskFails, f)
+			}
+		}
+		fc.SickDisks = nil
+		for _, s := range c.Fault.SickDisks {
+			if s.Disk >= offset && s.Disk < offset+pw {
+				s.Disk -= offset
+				fc.SickDisks = append(fc.SickDisks, s)
 			}
 		}
 		fc.Seed = c.Fault.Seed*1000003 + uint64(g)*7919 + 29
@@ -242,6 +263,9 @@ type Results struct {
 	NormalResp   stats.Summary
 	DegradedResp stats.Summary
 	Fault        array.FaultResults
+	// Robust aggregates the robustness-layer accounting (deadline
+	// verdicts, retries, hedges, shed counts) across all arrays.
+	Robust array.RobustResults
 
 	ReadHits, ReadMisses   int64
 	WriteHits, WriteMisses int64
@@ -331,7 +355,7 @@ func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, er
 		if rem := cap64 - lba; int64(blocks) > rem {
 			blocks = int(rem)
 		}
-		ctrl.Submit(array.Request{Op: r.Op, LBA: lba, Blocks: blocks})
+		ctrl.Submit(array.Request{Op: r.Op, LBA: lba, Blocks: blocks, Class: array.ClassifyBlocks(blocks)})
 		if idx < len(sub.Records) {
 			eng.At(sub.Records[idx].At, feed)
 		}
@@ -465,6 +489,7 @@ func merge(cfg Config, parts []*array.Results, events []uint64) *Results {
 		out.NormalResp.Merge(&p.NormalResp)
 		out.DegradedResp.Merge(&p.DegradedResp)
 		mergeFaultResults(&out.Fault, &p.Fault)
+		out.Robust.Merge(&p.Robust)
 		out.ReadHits += p.ReadHits
 		out.ReadMisses += p.ReadMisses
 		out.WriteHits += p.WriteHits
@@ -511,6 +536,10 @@ func mergeFaultResults(dst, src *array.FaultResults) {
 	dst.SectorRetries += src.SectorRetries
 	dst.SectorReconstructs += src.SectorReconstructs
 	dst.FailoverReads += src.FailoverReads
+	dst.SickOnsets += src.SickOnsets
+	dst.SickClears += src.SickClears
+	dst.Hangs += src.Hangs
+	dst.TransientErrors += src.TransientErrors
 }
 
 func mergeCacheStats(dst, src *cache.Stats) {

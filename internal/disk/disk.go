@@ -113,6 +113,16 @@ type Disk struct {
 	busy   bool
 	failed bool
 
+	// slow, when > 1, stretches the mechanism's seek and media-transfer
+	// times by that factor: the "sick disk" degradation mode where a drive
+	// still works but everything takes longer (fault.SickDisk.SlowFactor).
+	slow float64
+	// hangUntil gates the scheduler: while now < hangUntil the mechanism
+	// refuses new work (queued requests wait; an access already in flight
+	// completes normally). Models firmware stalls / intermittent hangs.
+	hangUntil sim.Time
+	hangWake  bool // a wake-up event for hangUntil is already scheduled
+
 	sched  Sched
 	lookUp bool // LOOK sweep direction
 	queues [numPriorities][]*Request
@@ -129,12 +139,63 @@ func (d *Disk) SetProbe(p Probe) { d.probe = p }
 // New returns an idle drive with its arm at cylinder 0 and the given
 // rotational phase in [0, 1). No spindle synchronization is assumed, so
 // callers give each drive an independent random phase.
-func New(eng *sim.Engine, id int, spec geom.Spec, seek geom.SeekModel, phase float64) *Disk {
+func New(eng *sim.Engine, id int, spec geom.Spec, seek geom.SeekModel, phase float64) (*Disk, error) {
 	if phase < 0 || phase >= 1 {
-		panic(fmt.Sprintf("disk: phase %f outside [0,1)", phase))
+		return nil, fmt.Errorf("disk: phase %f outside [0,1)", phase)
 	}
-	return &Disk{ID: id, eng: eng, spec: spec, seek: seek, phase: phase}
+	return &Disk{ID: id, eng: eng, spec: spec, seek: seek, phase: phase}, nil
 }
+
+// SetSlowFactor stretches (factor > 1) or restores (factor <= 1) the
+// drive's mechanism times: seeks and media passes take factor times as
+// long. It affects only accesses that acquire the mechanism after the
+// call; an access in flight keeps the timing it was planned with.
+func (d *Disk) SetSlowFactor(factor float64) {
+	if factor <= 1 {
+		d.slow = 0
+		return
+	}
+	d.slow = factor
+}
+
+// SlowFactor returns the active slowdown (1 when healthy).
+func (d *Disk) SlowFactor() float64 {
+	if d.slow > 1 {
+		return d.slow
+	}
+	return 1
+}
+
+// Hang stalls the mechanism until the given absolute time: queued and
+// newly submitted requests wait, an access already in service completes
+// normally. Overlapping hangs extend to the latest deadline. The drive
+// wakes itself and resumes its queue when the hang expires.
+func (d *Disk) Hang(until sim.Time) {
+	if until <= d.hangUntil || until <= d.eng.Now() {
+		return
+	}
+	d.hangUntil = until
+	if !d.hangWake {
+		d.hangWake = true
+		d.armHangWake()
+	}
+}
+
+// armHangWake schedules the post-hang queue kick; chained if the hang was
+// extended while waiting.
+func (d *Disk) armHangWake() {
+	d.eng.At(d.hangUntil, func() {
+		if d.eng.Now() < d.hangUntil {
+			d.armHangWake()
+			return
+		}
+		d.hangWake = false
+		d.trySchedule()
+	})
+}
+
+// Hanging reports whether the mechanism is currently refusing new work.
+func (d *Disk) Hanging() bool { return d.eng.Now() < d.hangUntil }
 
 // Spec returns the drive's geometry.
 func (d *Disk) Spec() geom.Spec { return d.spec }
@@ -243,6 +304,9 @@ func (d *Disk) trySchedule() {
 	if d.busy {
 		return
 	}
+	if d.eng.Now() < d.hangUntil {
+		return // hung: the wake-up scheduled by Hang resumes the queue
+	}
 	r := d.pop()
 	if r == nil {
 		return
@@ -313,6 +377,9 @@ func (d *Disk) service(r *Request, now sim.Time) {
 		d.S.SeekCount++
 	}
 	seekT := d.seek.Time(dist)
+	if d.slow > 1 {
+		seekT = sim.Time(float64(seekT) * d.slow)
+	}
 	d.S.SeekTime += seekT
 	d.cyl = chs.Cylinder
 
@@ -328,6 +395,9 @@ func (d *Disk) service(r *Request, now sim.Time) {
 		}
 	} else {
 		plan = d.planTransfer(r.StartBlock, r.Blocks)
+	}
+	if d.slow > 1 {
+		plan.duration = sim.Time(float64(plan.duration) * d.slow)
 	}
 	d.cyl = plan.endCyl
 

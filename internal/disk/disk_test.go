@@ -12,7 +12,10 @@ func newTestDisk(t *testing.T, phase float64) (*sim.Engine, *Disk, geom.Spec) {
 	eng := sim.New()
 	spec := geom.Default()
 	seek := geom.MustCalibrateSeek(spec)
-	d := New(eng, 0, spec, seek, phase)
+	d, err := New(eng, 0, spec, seek, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return eng, d, spec
 }
 
@@ -162,7 +165,7 @@ func TestMultiblockTransfer(t *testing.T) {
 
 	// A run crossing from cylinder 0 into cylinder 1.
 	eng2 := sim.New()
-	d2 := New(eng2, 0, spec, geom.MustCalibrateSeek(spec), 0)
+	d2, _ := New(eng2, 0, spec, geom.MustCalibrateSeek(spec), 0)
 	start := int64(spec.BlocksPerCylinder() - 3)
 	startAngle := spec.AngleOfBlock(spec.ToCHS(start).Block)
 	d2.Submit(&Request{StartBlock: start, Blocks: 6, Priority: PriNormal,
@@ -245,7 +248,7 @@ func TestPhaseAffectsLatency(t *testing.T) {
 	var times []sim.Time
 	for _, phase := range []float64{0, 0.25, 0.5, 0.75} {
 		eng := sim.New()
-		d := New(eng, 0, spec, geom.MustCalibrateSeek(spec), phase)
+		d, _ := New(eng, 0, spec, geom.MustCalibrateSeek(spec), phase)
 		var done sim.Time
 		d.Submit(&Request{StartBlock: 0, Blocks: 1, Priority: PriNormal,
 			OnDone: func() { done = eng.Now() }})

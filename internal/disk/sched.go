@@ -48,12 +48,14 @@ func ParseSched(name string) (Sched, error) {
 }
 
 // SetSched selects the drive's queue discipline. Change it only while
-// the queue is empty (typically right after New).
-func (d *Disk) SetSched(s Sched) {
+// the queue is empty (typically right after New). An out-of-range value
+// is reported as an error, like a bad constructor argument.
+func (d *Disk) SetSched(s Sched) error {
 	if s < FIFO || s > LOOK {
-		panic("disk: bad scheduler")
+		return fmt.Errorf("disk: bad scheduler %d", int(s))
 	}
 	d.sched = s
+	return nil
 }
 
 // pop removes and returns the next request to serve under the configured

@@ -19,7 +19,7 @@ func submitAtCyls(t *testing.T, sched Sched, cyls []int) []int {
 	t.Helper()
 	eng := sim.New()
 	spec := geom.Default()
-	d := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
+	d, _ := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
 	d.SetSched(sched)
 	var order []int
 	d.Submit(&Request{StartBlock: blockAtCyl(spec, 600), Blocks: 1, Priority: PriNormal,
@@ -80,7 +80,7 @@ func TestLOOKReversesOnlyWhenNeeded(t *testing.T) {
 func TestSchedRespectsPriority(t *testing.T) {
 	eng := sim.New()
 	spec := geom.Default()
-	d := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
+	d, _ := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
 	d.SetSched(SSTF)
 	var order []string
 	d.Submit(&Request{StartBlock: blockAtCyl(spec, 600), Blocks: 1, Priority: PriNormal,
@@ -104,7 +104,7 @@ func TestSSTFReducesSeekVersusFIFO(t *testing.T) {
 	run := func(s Sched) int64 {
 		eng := sim.New()
 		spec := geom.Default()
-		d := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
+		d, _ := New(eng, 0, spec, geom.MustCalibrateSeek(spec), 0)
 		d.SetSched(s)
 		for _, c := range cyls {
 			d.Submit(&Request{StartBlock: blockAtCyl(spec, c), Blocks: 1, Priority: PriNormal})

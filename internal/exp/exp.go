@@ -38,6 +38,10 @@ type Options struct {
 	// Obs threads an observability config into every BaseConfig, so any
 	// experiment can be run with windowed time series on.
 	Obs obs.Config
+	// Robust threads the request-robustness layer (deadlines, retries,
+	// hedging, shedding) into every BaseConfig. Experiments that sweep
+	// robustness themselves (ext-slo) override it.
+	Robust array.RobustConfig
 }
 
 func (o *Options) fill() {
@@ -143,6 +147,7 @@ func (ctx *Context) BaseConfig(name string) core.Config {
 		Sync:      array.DF,
 		Seed:      ctx.opts.Seed + 1,
 		Obs:       ctx.opts.Obs,
+		Robust:    ctx.opts.Robust,
 	}.Normalize()
 }
 

@@ -70,6 +70,15 @@ type window struct {
 	rebuild  int64 // blocks moved by rebuild sweeps
 	degraded sim.Time
 	steps    uint64 // engine events executed in the window
+
+	// Robustness counters (zero unless the request-robustness layer is
+	// enabled): deadline misses, transient-error retries, hedged read
+	// legs and wins, and requests shed by admission control.
+	timeouts  int64
+	retries   int64
+	hedges    int64
+	hedgeWins int64
+	shed      int64
 }
 
 // Recorder folds probe emissions into time windows. It is single-
@@ -165,6 +174,67 @@ func (r *Recorder) Request(at sim.Time, write bool, ms float64) {
 	}
 	if r.ring != nil {
 		r.ring.append(Event{At: at, Kind: EvRequest, MS: ms, Write: write})
+	}
+}
+
+// Timeout records a request that completed past its deadline: class,
+// completion time, and response in milliseconds.
+func (r *Recorder) Timeout(at sim.Time, class int, ms float64) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	r.at(at).timeouts++
+	if r.ring != nil {
+		r.ring.append(Event{At: at, Kind: EvTimeout, MS: ms, Class: class})
+	}
+}
+
+// Retry records one transient-error retry against slot disk.
+func (r *Recorder) Retry(at sim.Time, disk, attempt int) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	r.at(at).retries++
+	if r.ring != nil {
+		r.ring.append(Event{At: at, Kind: EvRetry, Disk: disk, Blocks: attempt})
+	}
+}
+
+// HedgeIssued records a speculative second read leg sent to slot disk.
+func (r *Recorder) HedgeIssued(at sim.Time, disk int) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	r.at(at).hedges++
+	if r.ring != nil {
+		r.ring.append(Event{At: at, Kind: EvHedge, Disk: disk})
+	}
+}
+
+// HedgeWon records a hedge leg finishing before the primary.
+func (r *Recorder) HedgeWon(at sim.Time, disk int) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	r.at(at).hedgeWins++
+	if r.ring != nil {
+		r.ring.append(Event{At: at, Kind: EvHedgeWin, Disk: disk})
+	}
+}
+
+// Shed records a request rejected by admission control.
+func (r *Recorder) Shed(at sim.Time, class int, write bool) {
+	if r == nil {
+		return
+	}
+	r.observe(at)
+	r.at(at).shed++
+	if r.ring != nil {
+		r.ring.append(Event{At: at, Kind: EvShed, Class: class, Write: write})
 	}
 }
 

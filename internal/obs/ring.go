@@ -19,6 +19,7 @@ type Event struct {
 	Blocks int      `json:"blocks,omitempty"`
 	MS     float64  `json:"ms,omitempty"`
 	Write  bool     `json:"write,omitempty"`
+	Class  int      `json:"class,omitempty"`
 }
 
 // Event kinds emitted by the built-in probes.
@@ -30,6 +31,13 @@ const (
 	EvRebuildDone = "rebuild-done" // the rebuild sweep of slot Disk finished
 	EvCacheFail   = "cache-fail"   // the NVRAM cache died (Blocks = dirty lost)
 	EvDataLoss    = "data-loss"    // an unrecoverable failure lost data
+	EvTimeout     = "timeout"      // a request finished past its deadline (MS = response)
+	EvRetry       = "retry"        // a transient read error triggered a retry on slot Disk
+	EvHedge       = "hedge-issued" // a hedged read leg was dispatched to slot Disk
+	EvHedgeWin    = "hedge-won"    // the hedge leg finished first (MS = saved estimate)
+	EvShed        = "shed"         // admission control rejected a request (Class)
+	EvSickOnset   = "sick-onset"   // slot Disk turned sick (slow/flaky/hanging)
+	EvSickClear   = "sick-clear"   // slot Disk recovered from sickness
 )
 
 // ring is a fixed-capacity circular event buffer: the newest TraceCap

@@ -44,6 +44,12 @@ type Point struct {
 	DegradedFrac float64 // fraction of the window spent degraded
 	Degraded     bool    // any degraded time at all
 	Steps        uint64  // engine events executed
+
+	Timeouts  int64 // requests completing past their deadline
+	Retries   int64 // transient-error retries issued
+	Hedges    int64 // hedged read legs dispatched
+	HedgeWins int64 // hedge legs that beat the primary
+	Shed      int64 // requests rejected by admission control
 }
 
 // Len returns the number of windows.
@@ -86,6 +92,11 @@ func (s *Series) Merge(o *Series) {
 		w.rebuild += ow.rebuild
 		w.degraded += ow.degraded
 		w.steps += ow.steps
+		w.timeouts += ow.timeouts
+		w.retries += ow.retries
+		w.hedges += ow.hedges
+		w.hedgeWins += ow.hedgeWins
+		w.shed += ow.shed
 	}
 }
 
@@ -116,6 +127,9 @@ func (s *Series) Points() []Point {
 			RebuildBlocks: w.rebuild,
 			Degraded:      w.degraded > 0,
 			Steps:         w.steps,
+
+			Timeouts: w.timeouts, Retries: w.retries,
+			Hedges: w.hedges, HedgeWins: w.hedgeWins, Shed: w.shed,
 		}
 		if span > 0 {
 			p.ThroughputRPS = float64(p.Requests) / (float64(span) / float64(sim.Second))
@@ -149,11 +163,13 @@ var csvHeader = []string{
 	"mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
 	"util_mean", "util_max", "queue_mean", "cache_dirty",
 	"destages", "destaged_blocks", "rebuild_blocks", "degraded_frac", "events",
+	"timeouts", "retries", "hedges", "hedge_wins", "shed",
 }
 
 // SeriesSchemaVersion identifies the series CSV format, written as a
 // leading "# schema" comment line so downstream tooling can detect drift.
-const SeriesSchemaVersion = "raidsim-series/1"
+// Version 2 appended the robustness columns (timeouts..shed).
+const SeriesSchemaVersion = "raidsim-series/2"
 
 // WriteCSV writes a schema comment, the header, then one window per row.
 func (s *Series) WriteCSV(w io.Writer) error {
@@ -164,12 +180,13 @@ func (s *Series) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, p := range s.Points() {
-		_, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.2f,%.4f,%d,%d,%d,%.3f,%d\n",
+		_, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.2f,%.4f,%d,%d,%d,%.3f,%d,%d,%d,%d,%d,%d\n",
 			float64(p.Start)/float64(sim.Second),
 			p.Requests, p.Reads, p.Writes, p.ThroughputRPS,
 			p.MeanMS, p.P50MS, p.P95MS, p.P99MS, p.MaxMS,
 			p.UtilMean, p.UtilMax, p.QueueMean, p.DirtyFrac,
-			p.Destages, p.DestagedBlocks, p.RebuildBlocks, p.DegradedFrac, p.Steps)
+			p.Destages, p.DestagedBlocks, p.RebuildBlocks, p.DegradedFrac, p.Steps,
+			p.Timeouts, p.Retries, p.Hedges, p.HedgeWins, p.Shed)
 		if err != nil {
 			return err
 		}

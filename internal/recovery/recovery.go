@@ -101,7 +101,10 @@ func New(eng *sim.Engine, cfg Config) (*Sim, error) {
 	s := &Sim{eng: eng, cfg: cfg, lay: lay, failed: cfg.FailedDisk}
 	s.disks = make([]*disk.Disk, lay.Disks())
 	for i := range s.disks {
-		s.disks[i] = disk.New(eng, i, cfg.Spec, seek, src.Float64())
+		s.disks[i], err = disk.New(eng, i, cfg.Spec, seek, src.Float64())
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Rebuild {
 		eng.At(cfg.RebuildStart, func() { s.rebuildChunk(0) })

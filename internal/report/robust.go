@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+
+	"raidsim/internal/array"
+)
+
+// RobustTable renders the request-robustness accounting: per-class
+// goodput against the deadline (the goodput-vs-deadline view) plus the
+// retry/hedge/shed machinery counters.
+func RobustTable(title string, r *array.RobustResults) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"class", "measured", "met", "missed", "miss%", "shed", "mean ms", "p95 ms"},
+	}
+	for cl := array.SLOClass(0); cl < array.NumSLOClasses; cl++ {
+		n := r.DeadlineMet[cl] + r.DeadlineMiss[cl]
+		resp := r.ClassResp[cl]
+		t.AddRow(
+			cl.String(),
+			fmt.Sprintf("%d", resp.N()),
+			fmt.Sprintf("%d", r.DeadlineMet[cl]),
+			fmt.Sprintf("%d", r.DeadlineMiss[cl]),
+			missPct(r.DeadlineMiss[cl], n),
+			fmt.Sprintf("%d", r.Shed[cl]),
+			fmt.Sprintf("%.2f", resp.Mean()),
+			fmt.Sprintf("%.2f", resp.Quantile(0.95)),
+		)
+	}
+	if r.Retries > 0 || r.RetriesExhausted > 0 {
+		t.AddNote("retries: %d issued, %d reads exhausted their budget (%d attempts spent), amplification %.3fx",
+			r.Retries, r.RetriesExhausted, r.AttemptsExhausted, retryAmplification(r))
+	}
+	if r.Hedges > 0 {
+		t.AddNote("hedged reads: %d issued, %d won, %d lost (win rate %.1f%%)",
+			r.Hedges, r.HedgeWins, r.HedgeLosses, 100*float64(r.HedgeWins)/float64(r.Hedges))
+	}
+	return t
+}
+
+func missPct(miss, n int64) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(miss)/float64(n))
+}
+
+// retryAmplification returns total media passes per logical read pass on
+// the retry path: 1 plus retries over measured reads. With no reads it
+// degrades to 1.
+func retryAmplification(r *array.RobustResults) float64 {
+	var reads int64
+	for cl := 0; cl < array.NumSLOClasses; cl++ {
+		reads += r.ClassResp[cl].N()
+	}
+	if reads == 0 {
+		return 1
+	}
+	return 1 + float64(r.Retries)/float64(reads)
+}

@@ -136,8 +136,24 @@ func (e *Engine) AfterCall(d Time, fn func(*Engine, *Call)) *Call {
 	return e.AtCall(e.now+d, fn)
 }
 
+// Cancel deactivates a pending Call-form event: when its heap entry pops
+// the callback is skipped and the payload recycled exactly once, at pop
+// time — never earlier, so the free list cannot hand the same Call to two
+// live events. Cancel is valid only in the window between AtCall/AfterCall
+// and the event firing; once the callback has run, the Call may already
+// belong to a different event and cancelling it is a logic error the
+// caller must rule out (single-threaded engines make that a local
+// argument: track whether the event fired). The pointer slots are dropped
+// immediately so a long-pending cancelled event does not pin its payload's
+// referents.
+func (e *Engine) Cancel(c *Call) {
+	c.fn = nil
+	c.A, c.B, c.C = nil, nil, nil
+}
+
 // Step executes the earliest pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
+// timestamp. It reports whether an event was executed (a cancelled event
+// still counts: the clock advanced to its timestamp).
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
@@ -146,7 +162,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.steps++
 	if c := ev.call; c != nil {
-		c.fn(e, c)
+		if c.fn != nil {
+			c.fn(e, c)
+		}
 		e.releaseCall(c)
 	} else {
 		ev.fn()
