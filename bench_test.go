@@ -10,11 +10,13 @@ package raidsim_test
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
 	"raidsim/internal/array"
 	"raidsim/internal/cache"
+	"raidsim/internal/campaign"
 	"raidsim/internal/core"
 	"raidsim/internal/disk"
 	"raidsim/internal/exp"
@@ -287,6 +289,50 @@ func BenchmarkExtRAID3(b *testing.B) {
 // --- Controller Submit hot path ----------------------------------------
 
 // BenchmarkArraySubmit drives one array controller's Submit path per
+// BenchmarkCampaign measures the fleet campaign runner end to end: a
+// 4-organization x 4-seed grid (16 runs) per iteration, sharded over 1
+// worker vs GOMAXPROCS-bounded pools. Reported runs/s and events/s feed
+// the campaign_scaling section of BENCH_array.json. Worker count never
+// changes results (TestWorkerCountInvariance pins that); only
+// wall-clock should move.
+func BenchmarkCampaign(b *testing.B) {
+	spec := campaign.Spec{
+		Name:  "bench",
+		Scale: 0.02,
+		Orgs:  []string{"base", "mirror", "raid5", "pstripe"},
+		N:     []int{5},
+		Seeds: 4,
+		Seed:  1,
+	}
+	points, err := spec.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var runs, events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := campaign.Execute(points, campaign.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if failed := out.Failed(); len(failed) > 0 {
+					b.Fatal(failed)
+				}
+				runs += uint64(out.Executed)
+				events += out.Events
+			}
+			b.StopTimer()
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(runs)/sec, "runs/s")
+				b.ReportMetric(float64(events)/sec, "events/s")
+			}
+		})
+	}
+}
+
 // organization with a mixed 30%-write workload, one request per
 // iteration (benchstat-friendly: compare runs with
 // `benchstat old.txt new.txt`). The *Obs variants run the same work with

@@ -1,0 +1,215 @@
+// Command campaign executes a fleet-scale parameter sweep described by a
+// JSON spec file: the cross product of organization, array size, cache
+// size and workload knobs, replicated over seeds, sharded across a
+// worker pool, and journaled so an interrupted campaign resumes where it
+// stopped. Summary and A-vs-B comparison tables go to stdout (and are
+// deterministic — fit for golden-file diffs); progress and timing go to
+// stderr.
+//
+// Examples:
+//
+//	campaign -spec sweep.json -out sweep.jsonl
+//	campaign -spec sweep.json -out sweep.jsonl -workers 8
+//	campaign -spec sweep.json -a org=raid5 -b org=mirror
+//	campaign -spec sweep.json -csv > groups.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"raidsim/internal/campaign"
+	"raidsim/internal/core"
+	"raidsim/internal/obs"
+	"raidsim/internal/report"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "campaign spec file (JSON); required")
+		out       = flag.String("out", "", "JSONL journal path; completed runs are appended and a restart resumes (empty = run in memory)")
+		fresh     = flag.Bool("fresh", false, "discard an existing journal instead of resuming from it")
+		workers   = flag.Int("workers", 0, "worker-pool width (0 = spec's workers, then GOMAXPROCS); never changes results")
+		csv       = flag.Bool("csv", false, "render tables as CSV")
+		aSel      = flag.String("a", "", "comparison baseline selector, e.g. org=raid5 (with -b)")
+		bSel      = flag.String("b", "", "comparison candidate selector, e.g. org=mirror (with -a)")
+		seriesOut = flag.String("series-out", "", "write the merged fleet time series as CSV (needs obs_window_s in the spec)")
+		quiet     = flag.Bool("q", false, "suppress per-run progress on stderr")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fatal(fmt.Errorf("campaign: -spec is required"))
+	}
+	if (*aSel == "") != (*bSel == "") {
+		fatal(fmt.Errorf("campaign: -a and -b must be given together"))
+	}
+
+	spec, err := campaign.LoadSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	points, err := spec.Points()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := campaign.Options{Workers: *workers}
+	if opts.Workers == 0 {
+		opts.Workers = spec.Workers
+	}
+	if *out != "" {
+		if *fresh {
+			if err := os.Remove(*out); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		j, err := campaign.OpenJournal(*out, spec.Name, spec.Hash())
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		opts.Journal = j
+	}
+	if !*quiet {
+		opts.OnProgress = func(done, total int, p campaign.Point) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, p.ID)
+		}
+	}
+	var series *obs.Series
+	if *seriesOut != "" {
+		opts.OnResult = func(_ int, _ campaign.Point, res *core.Results) {
+			if res.Series == nil {
+				return
+			}
+			if series == nil {
+				series = res.Series
+			} else {
+				series.Merge(res.Series)
+			}
+		}
+	}
+
+	outcome, err := campaign.Execute(points, opts)
+	if err != nil {
+		fatal(err)
+	}
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	sec := outcome.Elapsed.Seconds()
+	fmt.Fprintf(os.Stderr, "%s: %d runs (%d executed, %d resumed) in %.1fs on %d workers",
+		spec.Name, len(points), outcome.Executed, outcome.Skipped, sec, w)
+	if outcome.Executed > 0 && sec > 0 {
+		fmt.Fprintf(os.Stderr, " — %.1f runs/s, %.0f events/s", float64(outcome.Executed)/sec, float64(outcome.Events)/sec)
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, e := range outcome.Failed() {
+		fmt.Fprintf(os.Stderr, "failed: %s\n", e)
+	}
+
+	fleet, err := campaign.Merge(outcome.Records)
+	if err != nil {
+		fatal(err)
+	}
+	if err := render(fleet, spec, *csv); err != nil {
+		fatal(err)
+	}
+	if *aSel != "" {
+		if err := compare(fleet, *aSel, *bSel, *csv); err != nil {
+			fatal(err)
+		}
+	} else if len(spec.Orgs) == 2 {
+		// The common two-organization sweep compares itself.
+		if err := compare(fleet, "org="+spec.Orgs[0], "org="+spec.Orgs[1], *csv); err != nil {
+			fatal(err)
+		}
+	}
+	if *seriesOut != "" {
+		if series == nil {
+			fmt.Fprintln(os.Stderr, "campaign: no time series collected (set obs_window_s in the spec; resumed runs carry none)")
+		} else {
+			f, err := os.Create(*seriesOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := series.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if len(outcome.Failed()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// render writes the per-group summary table.
+func render(f *campaign.Fleet, spec campaign.Spec, csv bool) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s: %d runs, %d groups", spec.Name, f.Runs, len(f.Groups)),
+		Columns: []string{"group", "runs", "mean (ms)", "p50", "p95", "p99"},
+	}
+	for i := range f.Groups {
+		g := &f.Groups[i]
+		t.AddRow(g.Key, fmt.Sprintf("%d", g.Runs), est(g.Estimate()).String(),
+			fmt.Sprintf("%.2f", g.Resp.Quantile(0.5)),
+			fmt.Sprintf("%.2f", g.Resp.Quantile(0.95)),
+			fmt.Sprintf("%.2f", g.Resp.Quantile(0.99)))
+	}
+	return emit(t, csv)
+}
+
+// compare renders the benchstat-style A-vs-B table, pairing groups by
+// the params left over once the selectors are stripped.
+func compare(f *campaign.Fleet, aSel, bSel string, csv bool) error {
+	a, err := f.Select(aSel)
+	if err != nil {
+		return err
+	}
+	b, err := f.Select(bSel)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		if _, ok := b[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return fmt.Errorf("campaign: selectors %q and %q share no comparable groups", aSel, bSel)
+	}
+	rows := make([]report.CompareRow, 0, len(keys))
+	for _, k := range keys {
+		name := k
+		if name == "" {
+			name = "(all)"
+		}
+		rows = append(rows, report.CompareRow{Name: name, A: est(a[k].Estimate()), B: est(b[k].Estimate())})
+	}
+	t := report.CompareTable(fmt.Sprintf("mean response time: %s vs %s", aSel, bSel), "ms", aSel, bSel, rows)
+	return emit(t, csv)
+}
+
+func est(e campaign.Estimate) report.Estimate {
+	return report.Estimate{Mean: e.Mean, Half: e.Half, N: e.N}
+}
+
+func emit(t *report.Table, csv bool) error {
+	if csv {
+		return t.RenderCSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

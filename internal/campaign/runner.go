@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"raidsim/internal/campaign/shard"
+	"raidsim/internal/core"
+)
+
+// Options configures Execute.
+type Options struct {
+	// Workers caps concurrent runs; 0 means GOMAXPROCS. Each run
+	// simulates on its own engine, so worker count never changes
+	// results — only wall-clock time.
+	Workers int
+	// Journal, when set, makes the campaign resumable: points whose ID
+	// the journal already holds are replayed from it instead of
+	// simulated, and every fresh completion is appended.
+	Journal *Journal
+	// OnResult, when set, observes every fresh (non-replayed) run with
+	// its full results, in completion order. Calls are serialized; i is
+	// the point's index in the input slice.
+	OnResult func(i int, p Point, res *core.Results)
+	// OnProgress, when set, receives a one-line note as each run
+	// finishes (serialized, completion order).
+	OnProgress func(done, total int, p Point)
+	// Context cancels the campaign between runs; nil means Background.
+	// Completed runs are already journaled, so a canceled campaign
+	// resumes where it stopped.
+	Context context.Context
+}
+
+// Outcome is what a campaign execution produced: one record per point
+// in input order (journal-replayed or freshly run; nil Params-less
+// zero records never appear — a failed run leaves a zero ID and its
+// error in Errors).
+type Outcome struct {
+	Records []RunRecord
+	// Errors[i] is the failure of points[i] ("" = success). Failed runs
+	// are not journaled, so a resume retries them.
+	Errors []string
+	// Executed counts runs actually simulated (not journal-replayed);
+	// Skipped counts journal replays.
+	Executed, Skipped int
+	// Events sums simulated engine events across executed runs.
+	Events uint64
+	// Elapsed is the wall-clock time of the Execute call.
+	Elapsed time.Duration
+}
+
+// Failed returns the non-empty error strings.
+func (o *Outcome) Failed() []string {
+	var out []string
+	for _, e := range o.Errors {
+		if e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Execute runs every point not already present in the journal on the
+// worker pool and returns one record per point. Per-run failures (an
+// overloaded config that never drains, a canceled context) are
+// reported per point rather than aborting the sweep; structural
+// problems (duplicate IDs) fail immediately.
+func Execute(points []Point, opts Options) (*Outcome, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	seen := make(map[string]bool, len(points))
+	for _, p := range points {
+		if p.ID == "" {
+			return nil, fmt.Errorf("campaign: point with empty ID")
+		}
+		if seen[p.ID] {
+			return nil, fmt.Errorf("campaign: duplicate run ID %q", p.ID)
+		}
+		seen[p.ID] = true
+	}
+
+	out := &Outcome{
+		Records: make([]RunRecord, len(points)),
+		Errors:  make([]string, len(points)),
+	}
+	var pending []int
+	if opts.Journal != nil {
+		done := opts.Journal.Done()
+		for i, p := range points {
+			if rec, ok := done[p.ID]; ok {
+				out.Records[i] = rec
+				out.Skipped++
+			} else {
+				pending = append(pending, i)
+			}
+		}
+	} else {
+		pending = make([]int, len(points))
+		for i := range pending {
+			pending[i] = i
+		}
+	}
+
+	start := time.Now()
+	var mu sync.Mutex
+	finished := out.Skipped
+	shard.Map(opts.Workers, len(pending), func(pi int) {
+		i := pending[pi]
+		p := points[i]
+		if err := ctx.Err(); err != nil {
+			out.Errors[i] = fmt.Sprintf("%s: canceled: %v", p.ID, err)
+			return
+		}
+		t0 := time.Now()
+		res, err := core.RunContext(ctx, p.Config, p.Trace)
+		if err != nil {
+			out.Errors[i] = fmt.Sprintf("%s: %v", p.ID, err)
+			return
+		}
+		rec := NewRecord(p, res, float64(time.Since(t0))/float64(time.Millisecond))
+		mu.Lock()
+		defer mu.Unlock()
+		if opts.Journal != nil {
+			if err := opts.Journal.Append(rec); err != nil {
+				out.Errors[i] = fmt.Sprintf("%s: %v", p.ID, err)
+				return
+			}
+		}
+		out.Records[i] = rec
+		out.Executed++
+		out.Events += res.Events
+		finished++
+		if opts.OnResult != nil {
+			opts.OnResult(i, p, res)
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(finished, len(points), p)
+		}
+	})
+	out.Elapsed = time.Since(start)
+	return out, nil
+}

@@ -1,0 +1,91 @@
+// Package shard provides the deterministic sharding primitives every
+// campaign-style sweep in the repository shares: a bounded worker pool
+// that maps a function over an index range, and a stable per-run seed
+// derivation. The package is dependency-free so that low-level layers
+// (the Monte-Carlo MTTDL campaign in internal/fault, the experiment
+// harness in internal/exp) can use the same pool as the top-level
+// internal/campaign runner without import cycles.
+//
+// Determinism contract: Map gives no ordering guarantees between
+// invocations of fn, so fn must write its result into an index-addressed
+// slot and leave every reduction (sums, mins, merges) to the caller, who
+// performs it in index order after Map returns. That keeps floating-point
+// accumulation order — and therefore every output bit — independent of
+// the worker count.
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(i) for every i in [0, n) on a pool of at most workers
+// goroutines (workers <= 0 means GOMAXPROCS). It returns when every call
+// has completed. fn must be safe for concurrent invocation on distinct
+// indexes and must not assume any execution order.
+func Map(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	mix1      = 0xbf58476d1ce4e5b9
+	mix2      = 0x94d049bb133111eb
+)
+
+// SeedFor derives the simulation seed of one campaign run from the
+// campaign's base seed and the run's stable ID. Keying on the ID — not
+// the run's position in the expanded grid — means growing or reordering
+// the grid never changes the seed (and hence the results) of any
+// existing run, which is what makes journals resumable across spec
+// edits. The derivation is FNV-1a over the ID finalized through a
+// splitmix64-style mix with the base seed.
+func SeedFor(base uint64, id string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= fnvPrime
+	}
+	z := h + base*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * mix1
+	z = (z ^ (z >> 27)) * mix2
+	z ^= z >> 31
+	if z == 0 {
+		// Seed 0 means "unset" to several config layers; nudge away.
+		z = 0x9e3779b97f4a7c15
+	}
+	return z
+}

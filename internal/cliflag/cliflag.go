@@ -40,6 +40,7 @@ type Binding struct {
 	seed      *uint64
 	sched     *string
 	spindles  *bool
+	workers   *int
 
 	spares      *int
 	failAt      *time.Duration
@@ -89,6 +90,7 @@ func Bind(fs *flag.FlagSet) *Binding {
 		seed:      fs.Uint64("seed", 1, "simulation seed"),
 		sched:     fs.String("sched", "fifo", "drive queue discipline: fifo, sstf, look"),
 		spindles:  fs.Bool("sync-spindles", false, "synchronize spindle rotation across drives"),
+		workers:   fs.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS); never changes results"),
 
 		spares:      fs.Int("spares", 0, "hot spares per array; a failure consumes one and triggers a background rebuild"),
 		failAt:      fs.Duration("fail-at", 0, "inject a disk failure at this time into the run (e.g. 30s; 0 = none)"),
@@ -208,6 +210,9 @@ func (b *Binding) Apply(cfg *core.Config) error {
 	}
 	if set["sync-spindles"] {
 		cfg.SyncSpindles = *b.spindles
+	}
+	if set["workers"] {
+		cfg.Workers = *b.workers
 	}
 	if set["spares"] {
 		cfg.Spares = *b.spares

@@ -34,7 +34,7 @@ func TestConfigOverrides(t *testing.T) {
 		"-org", "pstripe", "-n", "5", "-sync", "rfpr", "-placement", "end",
 		"-cached", "-cache-mb", "32", "-destage-sec", "2.5", "-seed", "42",
 		"-spares", "1", "-fail-at", "30s", "-fail-disk", "3",
-		"-obs-window", "500ms", "-obs-trace", "128",
+		"-obs-window", "500ms", "-obs-trace", "128", "-workers", "3",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
@@ -60,6 +60,9 @@ func TestConfigOverrides(t *testing.T) {
 	}
 	if cfg.Obs.Window != 500*sim.Millisecond || cfg.Obs.TraceCap != 128 {
 		t.Errorf("obs: %+v", cfg.Obs)
+	}
+	if cfg.Workers != 3 {
+		t.Errorf("workers = %d, want 3", cfg.Workers)
 	}
 }
 

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -384,6 +385,20 @@ func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, er
 
 // Run simulates cfg against tr. Arrays are simulated concurrently.
 func Run(cfg Config, tr *trace.Trace) (*Results, error) {
+	return RunContext(context.Background(), cfg, tr)
+}
+
+// RunContext is Run with the run-lifecycle seam the campaign layer
+// drives: ctx aborts the system between array simulations (an engine
+// that has started finishes its sub-trace — the discrete-event loop has
+// no safe preemption point — so cancellation latency is one array's
+// runtime), and the per-run seed is injected through cfg.Seed, which
+// every derived stream (per-array engines, fault streams, robustness
+// jitter) fans out from deterministically.
+func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Results, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run canceled before start: %w", err)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -420,6 +435,10 @@ func Run(cfg Config, tr *trace.Trace) (*Results, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[g] = fmt.Errorf("core: array %d canceled: %w", g, err)
+				return
+			}
 			ac := cfg.arrayConfig(g, widths[g], faults[g])
 			recs[g] = ac.Rec
 			parts[g], events[g], errs[g] = runOneArray(ac, sub)

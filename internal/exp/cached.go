@@ -41,7 +41,7 @@ func cacheTicks() []string {
 
 // cacheSweep runs the given organizations over the cache-size axis and
 // returns results indexed [org][size].
-func cacheSweep(ctx *Context, name string, orgs []array.Org) [][]*core.Results {
+func cacheSweep(ctx *Context, name string, orgs []array.Org) ([][]*core.Results, []string) {
 	tr := ctx.Trace(name, 1)
 	var jobs []job
 	for _, org := range orgs {
@@ -53,12 +53,12 @@ func cacheSweep(ctx *Context, name string, orgs []array.Org) [][]*core.Results {
 			jobs = append(jobs, job{cfg: cfg, tr: tr})
 		}
 	}
-	res, _ := runAll(jobs)
+	res, errs := runAll(jobs)
 	out := make([][]*core.Results, len(orgs))
 	for i := range orgs {
 		out[i] = res[i*len(cacheSizesMB) : (i+1)*len(cacheSizesMB)]
 	}
-	return out
+	return out, errs
 }
 
 // fig11: read and write hit ratios vs cache size, parity organizations
@@ -66,13 +66,14 @@ func cacheSweep(ctx *Context, name string, orgs []array.Org) [][]*core.Results {
 func fig11(ctx *Context) error {
 	orgs := []array.Org{array.OrgBase, array.OrgRAID5}
 	for _, name := range ctx.TraceNames() {
-		res := cacheSweep(ctx, name, orgs)
+		res, errs := cacheSweep(ctx, name, orgs)
 		fig := &report.Figure{
 			Title:  fmt.Sprintf("Figure 11 (%s): hit ratio vs cache size", name),
 			XLabel: "cache",
 			YLabel: "hit ratio",
 			XTicks: cacheTicks(),
 		}
+		noteErrors(fig, errs)
 		for i, org := range orgs {
 			reads := make([]float64, len(cacheSizesMB))
 			writes := make([]float64, len(cacheSizesMB))
@@ -96,13 +97,14 @@ func fig11(ctx *Context) error {
 func fig12(ctx *Context) error {
 	orgs := []array.Org{array.OrgBase, array.OrgMirror, array.OrgRAID5, array.OrgParityStriping}
 	for _, name := range ctx.TraceNames() {
-		res := cacheSweep(ctx, name, orgs)
+		res, errs := cacheSweep(ctx, name, orgs)
 		fig := &report.Figure{
 			Title:  fmt.Sprintf("Figure 12 (%s): response time vs cache size", name),
 			XLabel: "cache",
 			YLabel: "response time (ms)",
 			XTicks: cacheTicks(),
 		}
+		noteErrors(fig, errs)
 		for i, org := range orgs {
 			vals := make([]float64, len(cacheSizesMB))
 			for k, r := range res[i] {
@@ -119,7 +121,7 @@ func fig12(ctx *Context) error {
 
 // sizeWithCache sweeps array size holding the total cache constant (the
 // per-array cache grows with N, as in Figures 13 and 17).
-func sizeWithCache(ctx *Context, name string, orgs []array.Org, sizes []int, mbPerN float64) [][]*core.Results {
+func sizeWithCache(ctx *Context, name string, orgs []array.Org, sizes []int, mbPerN float64) ([][]*core.Results, []string) {
 	tr := ctx.Trace(name, 1)
 	var jobs []job
 	for _, org := range orgs {
@@ -132,12 +134,12 @@ func sizeWithCache(ctx *Context, name string, orgs []array.Org, sizes []int, mbP
 			jobs = append(jobs, job{cfg: cfg, tr: tr})
 		}
 	}
-	res, _ := runAll(jobs)
+	res, errs := runAll(jobs)
 	out := make([][]*core.Results, len(orgs))
 	for i := range orgs {
 		out[i] = res[i*len(sizes) : (i+1)*len(sizes)]
 	}
-	return out
+	return out, errs
 }
 
 // fig13: cached organizations across array sizes with the same total
@@ -146,12 +148,13 @@ func fig13(ctx *Context) error {
 	sizes := []int{5, 10, 15}
 	orgs := []array.Org{array.OrgBase, array.OrgMirror, array.OrgRAID5, array.OrgParityStriping}
 	for _, name := range ctx.TraceNames() {
-		res := sizeWithCache(ctx, name, orgs, sizes, 1.6)
+		res, errs := sizeWithCache(ctx, name, orgs, sizes, 1.6)
 		fig := &report.Figure{
 			Title:  fmt.Sprintf("Figure 13 (%s): array size, cached, fixed total cache", name),
 			XLabel: "N",
 			YLabel: "response time (ms)",
 		}
+		noteErrors(fig, errs)
 		for _, n := range sizes {
 			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", n))
 		}
@@ -187,7 +190,8 @@ func fig14(ctx *Context) error {
 			cfg.StripingUnit = su
 			jobs = append(jobs, job{cfg: cfg, tr: tr})
 		}
-		res, _ := runAll(jobs)
+		res, errs := runAll(jobs)
+		noteErrors(fig, errs)
 		vals := make([]float64, len(res))
 		for i, r := range res {
 			vals[i] = meanOrNaN(r)
@@ -205,13 +209,14 @@ func fig14(ctx *Context) error {
 func fig15(ctx *Context) error {
 	orgs := []array.Org{array.OrgRAID5, array.OrgRAID4}
 	for _, name := range ctx.TraceNames() {
-		res := cacheSweep(ctx, name, orgs)
+		res, errs := cacheSweep(ctx, name, orgs)
 		fig := &report.Figure{
 			Title:  fmt.Sprintf("Figure 15 (%s): hit ratio, RAID5 vs RAID4 parity caching", name),
 			XLabel: "cache",
 			YLabel: "hit ratio",
 			XTicks: cacheTicks(),
 		}
+		noteErrors(fig, errs)
 		for i, org := range orgs {
 			reads := make([]float64, len(cacheSizesMB))
 			writes := make([]float64, len(cacheSizesMB))
@@ -235,13 +240,14 @@ func fig15(ctx *Context) error {
 func fig16(ctx *Context) error {
 	orgs := []array.Org{array.OrgRAID5, array.OrgRAID4}
 	for _, name := range ctx.TraceNames() {
-		res := cacheSweep(ctx, name, orgs)
+		res, errs := cacheSweep(ctx, name, orgs)
 		fig := &report.Figure{
 			Title:  fmt.Sprintf("Figure 16 (%s): response time, RAID4 vs RAID5", name),
 			XLabel: "cache",
 			YLabel: "response time (ms)",
 			XTicks: cacheTicks(),
 		}
+		noteErrors(fig, errs)
 		for i, org := range orgs {
 			vals := make([]float64, len(cacheSizesMB))
 			for k, r := range res[i] {
@@ -262,12 +268,13 @@ func fig17(ctx *Context) error {
 	sizes := []int{5, 10, 20}
 	orgs := []array.Org{array.OrgRAID5, array.OrgRAID4}
 	for _, name := range ctx.TraceNames() {
-		res := sizeWithCache(ctx, name, orgs, sizes, 1.6)
+		res, errs := sizeWithCache(ctx, name, orgs, sizes, 1.6)
 		fig := &report.Figure{
 			Title:  fmt.Sprintf("Figure 17 (%s): array size, RAID4 vs RAID5", name),
 			XLabel: "N",
 			YLabel: "response time (ms)",
 		}
+		noteErrors(fig, errs)
 		for _, n := range sizes {
 			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", n))
 		}
@@ -344,7 +351,8 @@ func fig19(ctx *Context) error {
 				cfg.StripingUnit = su
 				jobs = append(jobs, job{cfg: cfg, tr: tr})
 			}
-			res, _ := runAll(jobs)
+			res, errs := runAll(jobs)
+			noteErrors(fig, errs)
 			vals := make([]float64, len(res))
 			for i, r := range res {
 				vals[i] = meanOrNaN(r)

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"raidsim/internal/array"
+	"raidsim/internal/campaign"
 	"raidsim/internal/core"
 	"raidsim/internal/obs"
 	"raidsim/internal/trace"
@@ -183,38 +184,74 @@ type job struct {
 	tr  *trace.Trace
 }
 
-// runAll executes the jobs concurrently (bounded by GOMAXPROCS) and
-// returns results in order. A failed run (e.g. hopelessly overloaded at
-// double trace speed) yields a nil entry and its error message.
-func runAll(jobs []job) ([]*core.Results, []string) {
-	out := make([]*core.Results, len(jobs))
-	errs := make([]string, len(jobs))
-	workers := runtime.GOMAXPROCS(0)
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// Keep nested parallelism bounded: the per-config run uses
-			// the worker budget too, so restrict each to a couple of
-			// array workers when many configs run at once.
-			cfg := j.cfg
-			if cfg.Workers == 0 && len(jobs) >= workers {
-				cfg.Workers = 2
-			}
-			res, err := core.Run(cfg, j.tr)
-			if err != nil {
-				errs[i] = err.Error()
-				return
-			}
-			out[i] = res
-		}(i, j)
+// describe names a job's configuration, so a failed run's error says
+// which point of the sweep failed rather than leaving an unexplained
+// blank cell.
+func describe(cfg core.Config) string {
+	s := fmt.Sprintf("org=%s/n=%d/sync=%s", cfg.Org, cfg.N, cfg.Sync)
+	if cfg.Cached {
+		s += fmt.Sprintf("/cache=%dMB", cfg.CacheMB)
 	}
-	wg.Wait()
-	return out, errs
+	if cfg.StripingUnit != 1 {
+		s += fmt.Sprintf("/su=%d", cfg.StripingUnit)
+	}
+	return s
+}
+
+// runAll executes the jobs on the shared campaign pool (bounded by
+// GOMAXPROCS) and returns results in order. A failed run (e.g.
+// hopelessly overloaded at double trace speed) yields a nil entry and
+// an error message naming the failing configuration; render it with
+// noteErrors.
+func runAll(jobs []job) ([]*core.Results, []string) {
+	workers := runtime.GOMAXPROCS(0)
+	points := make([]campaign.Point, len(jobs))
+	for i, j := range jobs {
+		// Keep nested parallelism bounded: the per-config run uses the
+		// worker budget too, so restrict each to a couple of array
+		// workers when many configs run at once.
+		cfg := j.cfg
+		if cfg.Workers == 0 && len(jobs) >= workers {
+			cfg.Workers = 2
+		}
+		// The index prefix keeps IDs unique when a sweep repeats a
+		// configuration.
+		points[i] = campaign.Point{
+			ID:     fmt.Sprintf("%03d %s", i, describe(cfg)),
+			Config: cfg,
+			Trace:  j.tr,
+		}
+	}
+	out := make([]*core.Results, len(jobs))
+	oc, err := campaign.Execute(points, campaign.Options{
+		Workers:  workers,
+		OnResult: func(i int, _ campaign.Point, res *core.Results) { out[i] = res },
+	})
+	if err != nil {
+		// Structural (duplicate-ID) errors cannot happen with
+		// index-prefixed IDs; report defensively on every job.
+		errs := make([]string, len(jobs))
+		for i := range errs {
+			errs[i] = err.Error()
+		}
+		return out, errs
+	}
+	return out, oc.Errors
+}
+
+// noter carries footnotes (report.Table and report.Figure both do).
+type noter interface {
+	AddNote(format string, args ...interface{})
+}
+
+// noteErrors attaches failed-run errors to a table or figure, so every
+// NaN (blank) cell is explained by a note naming the failing config.
+func noteErrors(n noter, errs []string) {
+	for _, e := range errs {
+		if e != "" {
+			n.AddNote("failed run: %s", e)
+		}
+	}
 }
 
 // meanOrNaN extracts the mean response time, NaN for failed runs.

@@ -3,6 +3,8 @@ package exp
 import (
 	"strings"
 	"testing"
+
+	"raidsim/internal/report"
 )
 
 func testCtx(buf *strings.Builder, traces ...string) *Context {
@@ -110,6 +112,41 @@ func TestFig11CSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "8MB,") {
 		t.Errorf("CSV rows missing:\n%s", out)
+	}
+}
+
+func TestRunAllFailureNamesTheConfig(t *testing.T) {
+	var buf strings.Builder
+	ctx := testCtx(&buf)
+	tr := ctx.Trace("trace2", 1)
+	good := ctx.BaseConfig("trace2")
+	bad := ctx.BaseConfig("trace2")
+	bad.N = 1 // rejected by config validation
+	res, errs := runAll([]job{{cfg: good, tr: tr}, {cfg: bad, tr: tr}})
+	if res[0] == nil || errs[0] != "" {
+		t.Fatalf("good run failed: %q", errs[0])
+	}
+	if res[1] != nil || errs[1] == "" {
+		t.Fatal("bad run did not fail")
+	}
+	for _, want := range []string{"n=1", "org="} {
+		if !strings.Contains(errs[1], want) {
+			t.Errorf("error %q does not name the failing config (missing %q)", errs[1], want)
+		}
+	}
+}
+
+func TestNoteErrorsExplainsBlankCells(t *testing.T) {
+	var buf strings.Builder
+	tbl := &report.Table{Title: "t", Columns: []string{"a"}}
+	tbl.AddRow("x")
+	noteErrors(tbl, []string{"", "001 org=raid5/n=1/sync=DF: core: N must be >= 2", ""})
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "failed run: 001 org=raid5/n=1") {
+		t.Errorf("rendered table missing failure note:\n%s", out)
 	}
 }
 

@@ -48,7 +48,8 @@ func ablateDestage(ctx *Context) error {
 					cfg.PureLRUWriteback = pure
 					jobs = append(jobs, job{cfg: cfg, tr: tr})
 				}
-				res, _ := runAll(jobs)
+				res, errs := runAll(jobs)
+				noteErrors(t, errs)
 				p, l := meanOrNaN(res[0]), meanOrNaN(res[1])
 				t.AddRow(org.String(), fmt.Sprintf("%d", mb),
 					fmt.Sprintf("%.2f", p), fmt.Sprintf("%.2f", l), fmt.Sprintf("%.3f", l/p))
@@ -79,7 +80,8 @@ func ablatePStripe(ctx *Context) error {
 			cfg.ParityStripeUnit = u
 			jobs = append(jobs, job{cfg: cfg, tr: tr})
 		}
-		res, _ := runAll(jobs)
+		res, errs := runAll(jobs)
+		noteErrors(t, errs)
 		for i, u := range units {
 			label := "classic"
 			if u > 0 {
@@ -121,7 +123,8 @@ func ablateDestagePeriod(ctx *Context) error {
 			cfg.DestagePeriod = p
 			jobs = append(jobs, job{cfg: cfg, tr: tr})
 		}
-		res, _ := runAll(jobs)
+		res, errs := runAll(jobs)
+		noteErrors(t, errs)
 		for i, p := range periods {
 			var de int64
 			if res[i] != nil {

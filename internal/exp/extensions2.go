@@ -47,7 +47,8 @@ func extModel(ctx *Context) error {
 		cfg.Org = org
 		jobs = append(jobs, job{cfg: cfg, tr: tr})
 	}
-	res, _ := runAll(jobs)
+	res, errs := runAll(jobs)
+	noteErrors(t, errs)
 	for i, org := range orgs {
 		r, _ := model.ZeroLoadResponse(dev, org, false)
 		w, _ := model.ZeroLoadResponse(dev, org, true)
@@ -78,7 +79,8 @@ func extModel(ctx *Context) error {
 				cfg.Placement = placementOf(pl)
 				pj = append(pj, job{cfg: cfg, tr: trn})
 			}
-			r, _ := runAll(pj)
+			r, errs := runAll(pj)
+			noteErrors(pt, errs)
 			mid, end := meanOrNaN(r[0]), meanOrNaN(r[1])
 			rule := model.RecommendPlacement(n, prof.WriteFraction)
 			simPick := placementOf(0)
@@ -160,7 +162,8 @@ func ablateSched(ctx *Context) error {
 				cfg.DiskSched = s
 				jobs = append(jobs, job{cfg: cfg, tr: tr})
 			}
-			res, _ := runAll(jobs)
+			res, errs := runAll(jobs)
+			noteErrors(t, errs)
 			t.AddRow(org.String(),
 				fmt.Sprintf("%.2f", meanOrNaN(res[0])),
 				fmt.Sprintf("%.2f", meanOrNaN(res[1])),
@@ -191,7 +194,8 @@ func ablateSpindles(ctx *Context) error {
 				cfg.SyncSpindles = syncd
 				jobs = append(jobs, job{cfg: cfg, tr: tr})
 			}
-			res, _ := runAll(jobs)
+			res, errs := runAll(jobs)
+			noteErrors(t, errs)
 			t.AddRow(fmt.Sprintf("%d", su),
 				fmt.Sprintf("%.2f", meanOrNaN(res[0])),
 				fmt.Sprintf("%.2f", meanOrNaN(res[1])))
@@ -240,7 +244,8 @@ func extTaxonomy(ctx *Context) error {
 		cfgD.StripingUnit = 4 // a sensible scan-friendly unit for the striped orgs
 		jobs = append(jobs, job{cfg: cfgD, tr: dss})
 	}
-	res, _ := runAll(jobs)
+	res, errs := runAll(jobs)
+	noteErrors(t, errs)
 	for i, org := range orgs {
 		cfg := ctx.BaseConfig("trace2")
 		cfg.Org = org
@@ -277,7 +282,8 @@ func extParityLog(ctx *Context) error {
 			cfg.Org = org
 			jobs = append(jobs, job{cfg: cfg, tr: tr})
 		}
-		res, _ := runAll(jobs)
+		res, errs := runAll(jobs)
+		noteErrors(t, errs)
 		for i, org := range orgs {
 			w := 0.0
 			if res[i] != nil {

@@ -45,7 +45,8 @@ func extRAID10(ctx *Context) error {
 			cfgF.Fault = fault.Config{DiskFails: []fault.DiskFail{{Disk: 0, At: tr.Duration() / 4}}}
 			jobs = append(jobs, job{cfg: cfgF, tr: tr})
 		}
-		res, _ := runAll(jobs)
+		res, errs := runAll(jobs)
+		noteErrors(t, errs)
 		for i, org := range orgs {
 			h, d := res[2*i], res[2*i+1]
 			cfg := ctx.BaseConfig(name)
@@ -105,7 +106,8 @@ func extLatency(ctx *Context) error {
 			cfg.Cached = p.cached
 			jobs = append(jobs, job{cfg: cfg, tr: tr})
 		}
-		res, _ := runAll(jobs)
+		res, errs := runAll(jobs)
+		noteErrors(t, errs)
 		for i, p := range points {
 			r := res[i]
 			if r == nil {

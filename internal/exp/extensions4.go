@@ -75,7 +75,8 @@ func extSLO(ctx *Context) error {
 				jobs = append(jobs, job{cfg: cfg, tr: tr})
 			}
 		}
-		res, _ := runAll(jobs)
+		res, errs := runAll(jobs)
+		noteErrors(t, errs)
 		i := 0
 		for _, p := range points {
 			for _, dl := range deadlines {

@@ -106,7 +106,8 @@ func fig4(ctx *Context) error {
 					cfg.Sync = pol
 					jobs = append(jobs, job{cfg: cfg, tr: tr})
 				}
-				res, _ := runAll(jobs)
+				res, errs := runAll(jobs)
+				noteErrors(fig, errs)
 				vals := make([]float64, len(res))
 				for i, r := range res {
 					vals[i] = meanOrNaN(r)
@@ -142,7 +143,8 @@ func fig5(ctx *Context) error {
 				cfg.N = n
 				jobs = append(jobs, job{cfg: cfg, tr: tr})
 			}
-			res, _ := runAll(jobs)
+			res, errs := runAll(jobs)
+			noteErrors(fig, errs)
 			vals := make([]float64, len(res))
 			for i, r := range res {
 				vals[i] = meanOrNaN(r)
@@ -216,7 +218,8 @@ func fig8(ctx *Context) error {
 			cfg.StripingUnit = su
 			jobs = append(jobs, job{cfg: cfg, tr: tr})
 		}
-		res, _ := runAll(jobs)
+		res, errs := runAll(jobs)
+		noteErrors(fig, errs)
 		vals := make([]float64, len(res))
 		for i, r := range res {
 			vals[i] = meanOrNaN(r)
@@ -250,7 +253,8 @@ func fig9(ctx *Context) error {
 				cfg.Placement = pl
 				jobs = append(jobs, job{cfg: cfg, tr: tr})
 			}
-			res, _ := runAll(jobs)
+			res, errs := runAll(jobs)
+			noteErrors(fig, errs)
 			vals := make([]float64, len(res))
 			for i, r := range res {
 				vals[i] = meanOrNaN(r)

@@ -203,6 +203,25 @@ func TestCampaignDeterminism(t *testing.T) {
 	}
 }
 
+func TestCampaignWorkerCountInvariant(t *testing.T) {
+	base := CampaignConfig{Scheme: ParityArray, N: 6, MTTFHours: 1000, MTTRHours: 12, Runs: 200, Seed: 11, Workers: 1}
+	want, err := RunCampaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		cfg := base
+		cfg.Workers = w
+		got, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("workers=%d changed the result:\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+}
+
 func TestCampaignRejectsBadConfig(t *testing.T) {
 	if _, err := RunCampaign(CampaignConfig{Scheme: MirrorPair, MTTFHours: 100, MTTRHours: 10}); err == nil {
 		t.Error("zero runs accepted")

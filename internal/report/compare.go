@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is a measured value with a 95% confidence half-width over N
+// replications, the unit of A-vs-B comparison.
+type Estimate struct {
+	Mean float64
+	Half float64 // 95% confidence half-width (0 when N < 2)
+	N    int
+}
+
+// String renders "12.34 ±2.1%" (the half-width as a percentage of the
+// mean), or just the mean when there is no interval.
+func (e Estimate) String() string {
+	if e.N < 2 || e.Mean == 0 || e.Half == 0 {
+		return fmt.Sprintf("%.2f", e.Mean)
+	}
+	return fmt.Sprintf("%.2f ±%.1f%%", e.Mean, 100*e.Half/math.Abs(e.Mean))
+}
+
+// overlaps reports whether the two confidence intervals intersect — the
+// benchstat criterion for an insignificant delta.
+func (e Estimate) overlaps(o Estimate) bool {
+	return e.Mean-e.Half <= o.Mean+o.Half && o.Mean-o.Half <= e.Mean+e.Half
+}
+
+// CompareRow pairs one named quantity's A and B estimates.
+type CompareRow struct {
+	Name string
+	A, B Estimate
+}
+
+// CompareTable builds a benchstat-style A-vs-B table: each row shows
+// both estimates and the relative delta, written "~" when the
+// confidence intervals overlap (the difference is not resolvable at
+// this replication count).
+func CompareTable(title, unit, aLabel, bLabel string, rows []CompareRow) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"name", fmt.Sprintf("%s (%s)", aLabel, unit), fmt.Sprintf("%s (%s)", bLabel, unit), "delta"},
+	}
+	insignificant := 0
+	for _, r := range rows {
+		delta := "~"
+		switch {
+		case r.A.Mean == 0:
+			delta = "?"
+		case r.A.overlaps(r.B):
+			insignificant++
+		default:
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.B.Mean-r.A.Mean)/math.Abs(r.A.Mean))
+		}
+		t.AddRow(r.Name, r.A.String(), r.B.String(), delta)
+	}
+	if insignificant > 0 {
+		t.AddNote("~ marks deltas whose 95%% confidence intervals overlap (n too small to resolve)")
+	}
+	return t
+}
