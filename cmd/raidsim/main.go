@@ -1,15 +1,18 @@
 // Command raidsim runs one disk array simulation and prints its results:
 // response-time statistics, hit ratios, and per-disk utilization. The
-// workload comes from a trace file (text or binary, see cmd/tracegen) or
-// from a built-in synthetic profile.
+// workload comes from a trace file (text or binary, see cmd/tracegen),
+// a built-in workload name, or a declarative multi-client workload spec
+// (a .json file; see examples/workloads).
 //
 // Examples:
 //
-//	raidsim -profile trace2 -org raid5 -n 10
-//	raidsim -profile trace1 -scale 0.05 -org raid4 -cached -cache-mb 32
+//	raidsim -workload trace2 -org raid5 -n 10
+//	raidsim -workload trace1 -scale 0.05 -org raid4 -cached -cache-mb 32
+//	raidsim -workload diurnal -scale 0.2 -org raid5 -cached -obs-window 30s
+//	raidsim -workload examples/workloads/diurnal.json -org mirror -deadline 80ms
 //	raidsim -trace t.bin -org pstripe -placement end -sync rfpr
-//	raidsim -profile trace2 -org raid5 -obs-window 1s -obs-trace 256 -obs-jsonl events.jsonl
-//	raidsim -profile trace2 -org raid5 -cached -trace-spans spans.json -http :8080
+//	raidsim -workload trace2 -org raid5 -obs-window 1s -obs-trace 256 -obs-jsonl events.jsonl
+//	raidsim -workload trace2 -org raid5 -cached -trace-spans spans.json -http :8080
 package main
 
 import (
@@ -27,14 +30,11 @@ import (
 	"raidsim/internal/report"
 	"raidsim/internal/sim"
 	"raidsim/internal/trace"
-	"raidsim/internal/workload"
 )
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "trace file to replay (text or binary); empty = use -profile")
-		profile   = flag.String("profile", "trace2", "built-in workload: trace1 or trace2")
-		scale     = flag.Float64("scale", 0.1, "scale factor for the built-in workload")
+		tracePath = flag.String("trace", "", "trace file to replay (text or binary); empty = generate -workload")
 		speed     = flag.Float64("speed", 1, "trace speed factor (2 = twice the load)")
 		perDisk   = flag.Bool("per-disk", false, "print per-disk access counts and utilization")
 		mpl       = flag.Int("mpl", 0, "closed-loop mode: keep this many requests outstanding per array (0 = replay trace timing)")
@@ -51,6 +51,7 @@ func main() {
 		httpHold   = flag.Duration("http-hold", 0, "keep the -http server (and process) alive this long after the run completes")
 	)
 	bind := cliflag.Bind(flag.CommandLine)
+	wl := cliflag.BindWorkload(flag.CommandLine)
 	prof := cliflag.BindProfile(flag.CommandLine)
 	flag.Parse()
 
@@ -96,7 +97,7 @@ func main() {
 		return
 	}
 
-	tr, err := loadTrace(*tracePath, *profile, *scale)
+	tr, err := loadTrace(*tracePath, wl)
 	if err != nil {
 		fatal(err)
 	}
@@ -177,6 +178,11 @@ func printObs(res *core.Results, csvPath, jsonlPath string) {
 		if err := report.SeriesTable("windowed time series", res.Series).Render(os.Stdout); err != nil {
 			fatal(err)
 		}
+		if ct := report.ClassSeriesTable("per-class time series", res.Series); ct != nil {
+			if err := ct.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
 		if csvPath != "" {
 			f, err := os.Create(csvPath)
 			if err != nil {
@@ -211,7 +217,7 @@ func printObs(res *core.Results, csvPath, jsonlPath string) {
 	}
 }
 
-func loadTrace(path, profile string, scale float64) (*trace.Trace, error) {
+func loadTrace(path string, wl *cliflag.WorkloadBinding) (*trace.Trace, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -219,21 +225,13 @@ func loadTrace(path, profile string, scale float64) (*trace.Trace, error) {
 		}
 		defer f.Close()
 		var magic [6]byte
-		if _, err := f.ReadAt(magic[:], 0); err == nil && string(magic[:5]) == "RSTB1" {
+		if _, err := f.ReadAt(magic[:], 0); err == nil &&
+			(string(magic[:5]) == "RSTB1" || string(magic[:5]) == "RSTB2") {
 			return trace.ReadBinary(f)
 		}
 		return trace.ReadText(f)
 	}
-	var p workload.Profile
-	switch profile {
-	case "trace1":
-		p = workload.Trace1Profile()
-	case "trace2":
-		p = workload.Trace2Profile()
-	default:
-		return nil, fmt.Errorf("unknown profile %q (want trace1 or trace2)", profile)
-	}
-	return workload.Generate(p.Scaled(scale))
+	return wl.Generate("trace2")
 }
 
 func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk bool) {
@@ -324,6 +322,12 @@ func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk b
 
 	if res.Robust.Enabled {
 		if err := report.RobustTable("request robustness (SLO)", &res.Robust).Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if ct := report.ClassTable("per-class results (workload clients)", res.Classes); ct != nil {
+		if err := ct.Render(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}

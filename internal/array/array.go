@@ -215,6 +215,12 @@ type Config struct {
 	// value disables everything.
 	Robust RobustConfig
 
+	// Classes, when non-empty, is the workload's client-class table:
+	// Request.CClass indexes it and Results.Classes reports each class
+	// separately. Empty means classless — no per-class accounting, the
+	// exact pre-multi-client behavior.
+	Classes []trace.ClassInfo
+
 	// Rec, when non-nil, receives windowed time-series observations
 	// (latency histograms, utilization, queue depth, destage and rebuild
 	// traffic). A nil Rec leaves the simulation bit-identical.
@@ -272,6 +278,9 @@ type Request struct {
 	// deadline the response is measured against and whether admission
 	// control may shed the request under overload.
 	Class SLOClass
+	// CClass indexes Config.Classes, the client class that issued the
+	// request; ignored (and 0) on classless arrays.
+	CClass uint8
 	// OnComplete, when non-nil, fires when the request's response
 	// completes. Closed-loop drivers hook it to keep a fixed number of
 	// requests outstanding. It also fires (asynchronously) when the
@@ -320,6 +329,10 @@ type Results struct {
 	DegradedResp stats.Summary
 	Fault        FaultResults
 	Robust       RobustResults
+
+	// Classes reports each workload client class separately; nil on
+	// classless runs.
+	Classes []ClassResults
 
 	// Per-request cache accounting (multiblock counts as a hit only if
 	// every block hit, as in the paper).
@@ -502,6 +515,10 @@ type common struct {
 	// sampler; nil for non-cached controllers.
 	dirtyFrac func() float64
 
+	// cls holds per-client-class accumulators, one per Config.Classes
+	// entry; empty on classless arrays.
+	cls []classAcct
+
 	fs faultState
 	rb robustState
 }
@@ -541,6 +558,9 @@ func newCommon(eng *sim.Engine, cfg Config, ndisks int) (*common, error) {
 	c.fs.rebuilding = make([]bool, ndisks)
 	c.fs.rbSpan = make([]*obs.Span, ndisks)
 	c.fs.spares = cfg.Spares
+	if len(cfg.Classes) > 0 {
+		c.cls = make([]classAcct, len(cfg.Classes))
+	}
 	c.tr = cfg.Rec.Tracer()
 	c.initRobust()
 	c.armObs()
@@ -588,13 +608,16 @@ func (c *common) begin(write bool) (sim.Time, *obs.Span) {
 }
 
 func (c *common) finish(r Request, start sim.Time, sp *obs.Span) {
+	ms := sim.Millis(c.eng.Now() - start)
 	if rec := c.cfg.Rec; rec != nil {
 		// The recorder sees every completion (warmup included): the time
 		// series exists to show transients, not steady state.
-		rec.Request(c.eng.Now(), r.Op != trace.Read, sim.Millis(c.eng.Now()-start))
+		rec.Request(c.eng.Now(), r.Op != trace.Read, ms)
+		if len(c.cls) > 0 {
+			rec.ClassRequest(c.eng.Now(), int(r.CClass), ms)
+		}
 	}
 	if start >= c.cfg.Warmup {
-		ms := sim.Millis(c.eng.Now() - start)
 		c.resp.Add(ms)
 		if r.Op == trace.Read {
 			c.readResp.Add(ms)
@@ -605,6 +628,20 @@ func (c *common) finish(r Request, start sim.Time, sp *obs.Span) {
 			c.degResp.Add(ms)
 		} else {
 			c.normResp.Add(ms)
+		}
+		if len(c.cls) > 0 {
+			var missed, checked bool
+			if c.rb.on {
+				cl := r.Class
+				if cl < 0 || cl >= NumSLOClasses {
+					cl = SLOGold
+				}
+				if dl := c.rb.cfg.deadlineFor(cl); dl > 0 {
+					checked = true
+					missed = c.eng.Now()-start > dl
+				}
+			}
+			c.finishClass(r, ms, missed, checked)
 		}
 	}
 	if c.rb.on {
@@ -654,6 +691,7 @@ func (c *common) baseResults(org Org) *Results {
 		DegradedResp:   c.degResp,
 		Fault:          c.faultResults(),
 		Robust:         c.robustResults(),
+		Classes:        c.classResults(),
 		Stages:         c.stages,
 	}
 	now := c.eng.Now()

@@ -300,6 +300,9 @@ func (c *common) maybeShed(r Request) bool {
 		return false
 	}
 	c.rb.shed[SLOBatch]++
+	if int(r.CClass) < len(c.cls) {
+		c.cls[r.CClass].shed++
+	}
 	c.cfg.Rec.Shed(c.eng.Now(), int(SLOBatch), r.Op != trace.Read)
 	if r.OnComplete != nil {
 		c.eng.After(0, r.OnComplete)

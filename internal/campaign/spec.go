@@ -6,15 +6,22 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"raidsim/internal/array"
 	"raidsim/internal/campaign/shard"
 	"raidsim/internal/core"
 	"raidsim/internal/obs"
 	"raidsim/internal/sim"
+	"raidsim/internal/specio"
 	"raidsim/internal/trace"
 	"raidsim/internal/workload"
 )
+
+// SpecVersion is the versioned header campaign spec files may carry.
+// It is optional (older spec files predate it) but validated when
+// present.
+const SpecVersion = "raidsim-campaign/1"
 
 // Spec is a declarative parameter grid: the cross product of every
 // axis below, replicated Seeds times with derived per-run seeds. Zero
@@ -22,10 +29,13 @@ import (
 // knobs apply to every run. Load one from JSON with LoadSpec or build
 // it programmatically and call Points.
 type Spec struct {
+	// Version is the optional "spec" header; SpecVersion when present.
+	Version string `json:"spec,omitempty"`
 	// Name identifies the campaign (journal header, report titles).
 	Name string `json:"name"`
 
-	// Traces lists the workloads to sweep (trace1, trace2); default
+	// Traces lists the workloads to sweep: built-in names (trace1,
+	// trace2, dss, diurnal) or .json workload-spec paths; default
 	// trace2. Scale shrinks the generated traces (default 0.1; the
 	// arrival rate — the operating point — is preserved), and Speeds
 	// multiplies the arrival rate (default {1}).
@@ -65,24 +75,18 @@ type Spec struct {
 // LoadSpec reads a Spec from a JSON file, rejecting unknown fields so
 // a typoed axis name fails instead of silently sweeping nothing.
 func LoadSpec(path string) (Spec, error) {
-	f, err := os.Open(path)
-	if err != nil {
+	var s Spec
+	if err := specio.Load(path, specio.Header{Want: SpecVersion}, &s); err != nil {
 		return Spec{}, err
-	}
-	defer f.Close()
-	s, err := ParseSpec(f)
-	if err != nil {
-		return Spec{}, fmt.Errorf("campaign: parsing %s: %w", path, err)
 	}
 	return s, nil
 }
 
-// ParseSpec decodes a Spec from JSON.
+// ParseSpec decodes a Spec from JSON with the same strict key and
+// header checking as LoadSpec.
 func ParseSpec(r io.Reader) (Spec, error) {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
 	var s Spec
-	if err := dec.Decode(&s); err != nil {
+	if err := specio.Parse(r, "campaign spec", specio.Header{Want: SpecVersion}, &s); err != nil {
 		return Spec{}, err
 	}
 	return s, nil
@@ -132,7 +136,7 @@ func (s Spec) Validate() error {
 		}
 	}
 	for _, name := range s.Traces {
-		if _, err := profileFor(name); err != nil {
+		if err := validateTrace(name); err != nil {
 			return err
 		}
 	}
@@ -171,14 +175,22 @@ func (s Spec) Size() int {
 		len(s.CacheMB) * len(s.StripingUnit) * s.Seeds
 }
 
-func profileFor(name string) (workload.Profile, error) {
+// validateTrace checks a traces-axis entry: a built-in profile name, a
+// built-in spec name, or a .json workload-spec path (loaded and
+// validated without generating).
+func validateTrace(name string) error {
 	switch name {
-	case "trace1":
-		return workload.Trace1Profile(), nil
-	case "trace2":
-		return workload.Trace2Profile(), nil
+	case "trace1", "trace2", "dss":
+		return nil
 	}
-	return workload.Profile{}, fmt.Errorf("campaign: unknown trace %q (want trace1 or trace2)", name)
+	sp, err := workload.Resolve(name)
+	if err != nil {
+		return fmt.Errorf("campaign: trace %q: %w", name, err)
+	}
+	if err := sp.Validate(); err != nil {
+		return fmt.Errorf("campaign: trace %q: %w", name, err)
+	}
+	return nil
 }
 
 // Points expands the grid into runs, in deterministic nested-loop order
@@ -204,11 +216,8 @@ func (s Spec) Points() ([]Point, error) {
 		}
 		base, ok := traces[name+"@1"]
 		if !ok {
-			p, err := profileFor(name)
-			if err != nil {
-				return nil, err
-			}
-			base, err = workload.Generate(p.Scaled(s.Scale))
+			var err error
+			base, err = workload.ResolveTrace(name, s.Scale)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: generating %s: %w", name, err)
 			}
@@ -301,22 +310,36 @@ func sortPointsStable(ps []Point) {
 // Hash fingerprints the grid-defining fields of the spec; journals
 // store it so a resume against an edited grid that would re-key runs is
 // refused instead of silently mixing results. Name, Workers and
-// rendering knobs are excluded — they don't affect run identity.
+// rendering knobs are excluded — they don't affect run identity. For
+// .json workload-spec traces the referenced file's content is part of
+// the fingerprint, so editing the workload also invalidates resumes.
 func (s Spec) Hash() uint64 {
 	s.fill()
+	var traceSpecs []string
+	for _, name := range s.Traces {
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			raw = []byte("unreadable: " + err.Error())
+		}
+		traceSpecs = append(traceSpecs, fmt.Sprintf("%s=%d", name, shard.SeedFor(0xdeed, string(raw))))
+	}
 	canon := struct {
-		Traces  []string
-		Scale   float64
-		Speeds  []float64
-		Orgs    []string
-		N       []int
-		CacheMB []int
-		SU      []int
-		Seeds   int
-		Seed    uint64
-		Sync    string
-		ObsS    float64
-	}{s.Traces, s.Scale, s.Speeds, s.Orgs, s.N, s.CacheMB, s.StripingUnit, s.Seeds, s.Seed, s.Sync, s.ObsWindowS}
+		Traces     []string
+		TraceSpecs []string
+		Scale      float64
+		Speeds     []float64
+		Orgs       []string
+		N          []int
+		CacheMB    []int
+		SU         []int
+		Seeds      int
+		Seed       uint64
+		Sync       string
+		ObsS       float64
+	}{s.Traces, traceSpecs, s.Scale, s.Speeds, s.Orgs, s.N, s.CacheMB, s.StripingUnit, s.Seeds, s.Seed, s.Sync, s.ObsWindowS}
 	raw, _ := json.Marshal(canon)
 	return shard.SeedFor(0xcafe, string(raw))
 }

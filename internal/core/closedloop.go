@@ -78,7 +78,7 @@ func RunClosedLoop(cfg Config, tr *trace.Trace, cl ClosedLoopConfig) (*ClosedLoo
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ac := cfg.arrayConfig(g, widths[g], faults[g])
+			ac := cfg.arrayConfig(g, widths[g], faults[g], sub.Classes)
 			recs[g] = ac.Rec
 			parts[g], events[g], spans[g], errs[g] = runOneArrayClosed(ac, sub, cl)
 		}(g, sub)
@@ -124,7 +124,8 @@ func runOneArrayClosed(cfg array.Config, sub *trace.Trace, cl ClosedLoopConfig) 
 		}
 		ctrl.Submit(array.Request{
 			Op: r.Op, LBA: lba, Blocks: blocks,
-			Class: array.ClassifyBlocks(blocks),
+			Class:  reqSLO(sub.Classes, r.Class, blocks),
+			CClass: r.Class,
 			OnComplete: func() {
 				if cl.ThinkTime > 0 {
 					eng.After(cl.ThinkTime, submitNext)

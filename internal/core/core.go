@@ -131,16 +131,20 @@ func (c Config) PhysicalDisks() int {
 	return n
 }
 
-func (c Config) arrayConfig(group, disks int, fc fault.Config) array.Config {
+func (c Config) arrayConfig(group, disks int, fc fault.Config, classes []trace.ClassInfo) array.Config {
 	var rec *obs.Recorder
 	if c.Obs.Enabled() {
 		oc := c.Obs
 		oc.Disks = c.physWidth(disks)
 		oc.Array = group
+		for _, cl := range classes {
+			oc.Classes = append(oc.Classes, cl.Name)
+		}
 		rec = obs.NewRecorder(oc)
 	}
 	return array.Config{
 		Rec:              rec,
+		Classes:          classes,
 		Org:              c.Org,
 		N:                disks,
 		Spec:             c.Spec,
@@ -267,6 +271,9 @@ type Results struct {
 	// Robust aggregates the robustness-layer accounting (deadline
 	// verdicts, retries, hedges, shed counts) across all arrays.
 	Robust array.RobustResults
+	// Classes reports each workload client class separately, merged
+	// across arrays; nil for classless traces.
+	Classes []array.ClassResults
 
 	ReadHits, ReadMisses   int64
 	WriteHits, WriteMisses int64
@@ -356,7 +363,11 @@ func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, er
 		if rem := cap64 - lba; int64(blocks) > rem {
 			blocks = int(rem)
 		}
-		ctrl.Submit(array.Request{Op: r.Op, LBA: lba, Blocks: blocks, Class: array.ClassifyBlocks(blocks)})
+		ctrl.Submit(array.Request{
+			Op: r.Op, LBA: lba, Blocks: blocks,
+			Class:  reqSLO(sub.Classes, r.Class, blocks),
+			CClass: r.Class,
+		})
 		if idx < len(sub.Records) {
 			eng.At(sub.Records[idx].At, feed)
 		}
@@ -381,6 +392,16 @@ func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, er
 		}
 	}
 	return ctrl.Results(), eng.Steps(), nil
+}
+
+// reqSLO resolves a record's SLO class: through the trace's class table
+// when it has one (auto classes still classify by size), else by size —
+// the classless behavior.
+func reqSLO(classes []trace.ClassInfo, class uint8, blocks int) array.SLOClass {
+	if int(class) < len(classes) {
+		return array.EffectiveSLO(classes[class].SLO, blocks)
+	}
+	return array.ClassifyBlocks(blocks)
 }
 
 // Run simulates cfg against tr. Arrays are simulated concurrently.
@@ -439,7 +460,7 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Results, err
 				errs[g] = fmt.Errorf("core: array %d canceled: %w", g, err)
 				return
 			}
-			ac := cfg.arrayConfig(g, widths[g], faults[g])
+			ac := cfg.arrayConfig(g, widths[g], faults[g], sub.Classes)
 			recs[g] = ac.Rec
 			parts[g], events[g], errs[g] = runOneArray(ac, sub)
 		}(g, sub)
@@ -509,6 +530,7 @@ func merge(cfg Config, parts []*array.Results, events []uint64) *Results {
 		out.DegradedResp.Merge(&p.DegradedResp)
 		mergeFaultResults(&out.Fault, &p.Fault)
 		out.Robust.Merge(&p.Robust)
+		out.Classes = array.MergeClasses(out.Classes, p.Classes)
 		out.ReadHits += p.ReadHits
 		out.ReadMisses += p.ReadMisses
 		out.WriteHits += p.WriteHits

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-destage", "ablate-pstripe", "ablate-sync-destage",
 		"ablate-sched", "ablate-spindles",
 		"ext-rebuild", "ext-mttdl", "ext-model", "ext-closedloop", "ext-taxonomy", "ext-paritylog",
-		"ext-raid10", "ext-latency", "ext-timeseries", "ext-slo",
+		"ext-raid10", "ext-latency", "ext-timeseries", "ext-slo", "ext-diurnal",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {

@@ -40,6 +40,10 @@ type Config struct {
 	Live *Live
 	// Array tags this recorder's live snapshots and exported spans.
 	Array int
+	// Classes names the workload's client classes; when non-empty,
+	// ClassRequest attributes completions to per-class window counters
+	// and the series grows per-class columns.
+	Classes []string
 }
 
 // DefaultWindow is the window width when Config.Window is unset.
@@ -79,6 +83,11 @@ type window struct {
 	hedges    int64
 	hedgeWins int64
 	shed      int64
+
+	// Per-client-class completions and summed response ms; nil on
+	// classless recorders (and on growth windows until first touched).
+	clsN  []int64
+	clsMS []float64
 }
 
 // Recorder folds probe emissions into time windows. It is single-
@@ -175,6 +184,23 @@ func (r *Recorder) Request(at sim.Time, write bool, ms float64) {
 	if r.ring != nil {
 		r.ring.append(Event{At: at, Kind: EvRequest, MS: ms, Write: write})
 	}
+}
+
+// ClassRequest attributes a completed request to its workload client
+// class (an index into Config.Classes). Called alongside Request, never
+// instead of it, so classless totals are untouched.
+func (r *Recorder) ClassRequest(at sim.Time, class int, ms float64) {
+	if r == nil || class < 0 || class >= len(r.cfg.Classes) {
+		return
+	}
+	r.observe(at)
+	w := r.at(at)
+	if len(w.clsN) < len(r.cfg.Classes) {
+		w.clsN = make([]int64, len(r.cfg.Classes))
+		w.clsMS = make([]float64, len(r.cfg.Classes))
+	}
+	w.clsN[class]++
+	w.clsMS[class] += ms
 }
 
 // Timeout records a request that completed past its deadline: class,
@@ -413,11 +439,18 @@ func (r *Recorder) Series() *Series {
 		r.addDegraded(r.degradedSince, r.end)
 		r.degradedSince = r.end
 	}
-	s := &Series{Window: r.win, Disks: r.cfg.Disks, End: r.end}
+	s := &Series{
+		Window:  r.win,
+		Disks:   r.cfg.Disks,
+		End:     r.end,
+		Classes: append([]string(nil), r.cfg.Classes...),
+	}
 	s.wins = make([]*window, len(r.wins))
 	for i, w := range r.wins {
 		cp := *w
 		cp.busy = append([]sim.Time(nil), w.busy...)
+		cp.clsN = append([]int64(nil), w.clsN...)
+		cp.clsMS = append([]float64(nil), w.clsMS...)
 		s.wins[i] = &cp
 	}
 	return s

@@ -16,6 +16,9 @@ type Series struct {
 	Window sim.Time
 	Disks  int
 	End    sim.Time
+	// Classes names the workload client classes the per-class columns
+	// cover; empty for classless runs (whose CSV output is unchanged).
+	Classes []string
 
 	wins []*window
 }
@@ -50,6 +53,11 @@ type Point struct {
 	Hedges    int64 // hedged read legs dispatched
 	HedgeWins int64 // hedge legs that beat the primary
 	Shed      int64 // requests rejected by admission control
+
+	// Per-class completions and mean response, indexed like
+	// Series.Classes; nil on classless series.
+	ClassRequests []int64
+	ClassMeanMS   []float64
 }
 
 // Len returns the number of windows.
@@ -69,6 +77,9 @@ func (s *Series) Merge(o *Series) {
 	}
 	if s.Window != o.Window {
 		panic(fmt.Sprintf("obs: merging series with windows %d and %d", s.Window, o.Window))
+	}
+	if len(s.Classes) == 0 {
+		s.Classes = o.Classes
 	}
 	for len(s.wins) < len(o.wins) {
 		s.wins = append(s.wins, &window{})
@@ -97,6 +108,16 @@ func (s *Series) Merge(o *Series) {
 		w.hedges += ow.hedges
 		w.hedgeWins += ow.hedgeWins
 		w.shed += ow.shed
+		if len(ow.clsN) > 0 {
+			if len(w.clsN) < len(ow.clsN) {
+				w.clsN = append(w.clsN, make([]int64, len(ow.clsN)-len(w.clsN))...)
+				w.clsMS = append(w.clsMS, make([]float64, len(ow.clsMS)-len(w.clsMS))...)
+			}
+			for j := range ow.clsN {
+				w.clsN[j] += ow.clsN[j]
+				w.clsMS[j] += ow.clsMS[j]
+			}
+		}
 	}
 }
 
@@ -130,6 +151,16 @@ func (s *Series) Points() []Point {
 
 			Timeouts: w.timeouts, Retries: w.retries,
 			Hedges: w.hedges, HedgeWins: w.hedgeWins, Shed: w.shed,
+		}
+		if n := len(s.Classes); n > 0 {
+			p.ClassRequests = make([]int64, n)
+			p.ClassMeanMS = make([]float64, n)
+			for j := 0; j < n && j < len(w.clsN); j++ {
+				p.ClassRequests[j] = w.clsN[j]
+				if w.clsN[j] > 0 {
+					p.ClassMeanMS[j] = w.clsMS[j] / float64(w.clsN[j])
+				}
+			}
 		}
 		if span > 0 {
 			p.ThroughputRPS = float64(p.Requests) / (float64(span) / float64(sim.Second))
@@ -171,16 +202,42 @@ var csvHeader = []string{
 // Version 2 appended the robustness columns (timeouts..shed).
 const SeriesSchemaVersion = "raidsim-series/2"
 
+// SeriesSchemaVersionClasses is the schema when per-class columns are
+// present (two trailing columns per workload client class). Classless
+// series keep emitting version 2 byte-for-byte.
+const SeriesSchemaVersionClasses = "raidsim-series/3"
+
+// colName flattens a class name into a CSV column stem.
+func colName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		}
+		return '_'
+	}, s)
+}
+
 // WriteCSV writes a schema comment, the header, then one window per row.
 func (s *Series) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "# schema %s\n", SeriesSchemaVersion); err != nil {
+	schema, header := SeriesSchemaVersion, csvHeader
+	if len(s.Classes) > 0 {
+		schema = SeriesSchemaVersionClasses
+		header = append([]string(nil), csvHeader...)
+		for _, c := range s.Classes {
+			header = append(header, colName(c)+"_requests", colName(c)+"_mean_ms")
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# schema %s\n", schema); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, strings.Join(csvHeader, ",")); err != nil {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
 		return err
 	}
 	for _, p := range s.Points() {
-		_, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.2f,%.4f,%d,%d,%d,%.3f,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.2f,%.4f,%d,%d,%d,%.3f,%d,%d,%d,%d,%d,%d",
 			float64(p.Start)/float64(sim.Second),
 			p.Requests, p.Reads, p.Writes, p.ThroughputRPS,
 			p.MeanMS, p.P50MS, p.P95MS, p.P99MS, p.MaxMS,
@@ -188,6 +245,14 @@ func (s *Series) WriteCSV(w io.Writer) error {
 			p.Destages, p.DestagedBlocks, p.RebuildBlocks, p.DegradedFrac, p.Steps,
 			p.Timeouts, p.Retries, p.Hedges, p.HedgeWins, p.Shed)
 		if err != nil {
+			return err
+		}
+		for j := range s.Classes {
+			if _, err := fmt.Fprintf(w, ",%d,%.3f", p.ClassRequests[j], p.ClassMeanMS[j]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"fmt"
+
+	"raidsim/internal/array"
+	"raidsim/internal/obs"
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+// ClassTable renders the per-client-class results of a multi-client
+// workload: each class's share of the traffic, its response distribution,
+// and its SLO outcome. Returns nil for classless runs so callers can
+// render unconditionally.
+func ClassTable(title string, classes []array.ClassResults) *Table {
+	if len(classes) == 0 {
+		return nil
+	}
+	t := &Table{
+		Title:   title,
+		Columns: []string{"class", "slo", "requests", "reads", "writes", "mean ms", "p95 ms", "p99 ms", "miss%", "shed"},
+	}
+	for i := range classes {
+		c := &classes[i]
+		t.AddRow(
+			c.Name,
+			trace.SLOName(c.SLO),
+			fmt.Sprintf("%d", c.Requests),
+			fmt.Sprintf("%d", c.Reads),
+			fmt.Sprintf("%d", c.Writes),
+			fmt.Sprintf("%.2f", c.Resp.Mean()),
+			fmt.Sprintf("%.2f", c.Resp.Quantile(0.95)),
+			fmt.Sprintf("%.2f", c.Resp.Quantile(0.99)),
+			missPct(c.DeadlineMissed, c.DeadlineMet+c.DeadlineMissed),
+			fmt.Sprintf("%d", c.Shed),
+		)
+	}
+	return t
+}
+
+// ClassSeriesTable renders the per-class time series side by side — one
+// row per window, per class its completions and mean response — the view
+// that makes a diurnal workload's shifting mix visible. Returns nil when
+// the series is absent or classless.
+func ClassSeriesTable(title string, s *obs.Series) *Table {
+	if s == nil || len(s.Classes) == 0 {
+		return nil
+	}
+	cols := []string{"t(s)"}
+	for _, c := range s.Classes {
+		cols = append(cols, c+" req", c+" ms")
+	}
+	t := &Table{Title: title, Columns: cols}
+	for _, p := range s.Points() {
+		row := []string{fmt.Sprintf("%.0f", float64(p.Start)/float64(sim.Second))}
+		for j := range s.Classes {
+			row = append(row,
+				fmt.Sprintf("%d", p.ClassRequests[j]),
+				fmt.Sprintf("%.2f", p.ClassMeanMS[j]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

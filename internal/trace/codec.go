@@ -19,26 +19,61 @@ import (
 // Deltas are relative to the previous record (0 within a burst), matching
 // how the paper's traces encode time. Nanosecond units keep file
 // round-trips bit-exact with in-memory traces.
+//
+// Version 2 carries the client-class table of multi-client traces: the
+// header gains a class count, one "class <name> <slo>" line per class
+// follows it, and each record line gains a trailing class index.
+// Classless traces are still written as v1, so every file produced before
+// classes existed — and every consumer of such files — is unaffected.
+//
+//	raidsim-trace v2 <name> <numDisks> <blocksPerDisk> <numClasses>
+//	class <name> <gold|batch|auto>
+//	<deltaNanos> <R|W> <lba> <blocks> <class>
 
-// WriteText encodes t in the text format.
+// WriteText encodes t in the text format (v1 when classless, v2 when the
+// trace carries a class table).
 func WriteText(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
-	name := strings.ReplaceAll(t.Name, " ", "_")
-	if name == "" {
-		name = "unnamed"
-	}
-	if _, err := fmt.Fprintf(bw, "raidsim-trace v1 %s %d %d\n", name, t.NumDisks, t.BlocksPerDisk); err != nil {
-		return err
+	name := sanitizeName(t.Name)
+	if len(t.Classes) == 0 {
+		if _, err := fmt.Fprintf(bw, "raidsim-trace v1 %s %d %d\n", name, t.NumDisks, t.BlocksPerDisk); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(bw, "raidsim-trace v2 %s %d %d %d\n", name, t.NumDisks, t.BlocksPerDisk, len(t.Classes)); err != nil {
+			return err
+		}
+		for _, c := range t.Classes {
+			if _, err := fmt.Fprintf(bw, "class %s %s\n", sanitizeName(c.Name), SLOName(c.SLO)); err != nil {
+				return err
+			}
+		}
 	}
 	var prev sim.Time
 	for _, r := range t.Records {
 		delta := r.At - prev
 		prev = r.At
-		if _, err := fmt.Fprintf(bw, "%d %s %d %d\n", delta, r.Op, r.LBA, r.Blocks); err != nil {
+		var err error
+		if len(t.Classes) == 0 {
+			_, err = fmt.Fprintf(bw, "%d %s %d %d\n", delta, r.Op, r.LBA, r.Blocks)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %s %d %d %d\n", delta, r.Op, r.LBA, r.Blocks, r.Class)
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// sanitizeName makes a name single-token for the whitespace-separated
+// text format.
+func sanitizeName(s string) string {
+	s = strings.ReplaceAll(s, " ", "_")
+	if s == "" {
+		return "unnamed"
+	}
+	return s
 }
 
 // ReadText decodes a text-format trace.
@@ -49,7 +84,12 @@ func ReadText(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: empty input: %w", sc.Err())
 	}
 	head := strings.Fields(sc.Text())
-	if len(head) != 5 || head[0] != "raidsim-trace" || head[1] != "v1" {
+	v2 := false
+	switch {
+	case len(head) == 5 && head[0] == "raidsim-trace" && head[1] == "v1":
+	case len(head) == 6 && head[0] == "raidsim-trace" && head[1] == "v2":
+		v2 = true
+	default:
 		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
 	}
 	nd, err := strconv.Atoi(head[3])
@@ -61,8 +101,33 @@ func ReadText(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: bad blocks per disk: %w", err)
 	}
 	t := &Trace{Name: head[2], NumDisks: nd, BlocksPerDisk: bpd}
-	var at sim.Time
 	line := 1
+	if v2 {
+		nclasses, err := strconv.Atoi(head[5])
+		if err != nil || nclasses < 1 || nclasses > 256 {
+			return nil, fmt.Errorf("trace: bad class count %q", head[5])
+		}
+		for i := 0; i < nclasses; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("trace: truncated class table: %w", sc.Err())
+			}
+			line++
+			f := strings.Fields(sc.Text())
+			if len(f) != 3 || f[0] != "class" {
+				return nil, fmt.Errorf("trace: line %d: bad class line %q", line, sc.Text())
+			}
+			slo, err := ParseSLO(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			t.Classes = append(t.Classes, ClassInfo{Name: f[1], SLO: slo})
+		}
+	}
+	nfields := 4
+	if v2 {
+		nfields = 5
+	}
+	var at sim.Time
 	for sc.Scan() {
 		line++
 		txt := strings.TrimSpace(sc.Text())
@@ -70,8 +135,8 @@ func ReadText(r io.Reader) (*Trace, error) {
 			continue
 		}
 		f := strings.Fields(txt)
-		if len(f) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(f))
+		if len(f) != nfields {
+			return nil, fmt.Errorf("trace: line %d: want %d fields, got %d", line, nfields, len(f))
 		}
 		delta, err := strconv.ParseInt(f[0], 10, 64)
 		if err != nil || delta < 0 {
@@ -94,8 +159,15 @@ func ReadText(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad block count %q", line, f[3])
 		}
+		var class uint64
+		if v2 {
+			class, err = strconv.ParseUint(f[4], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad class %q", line, f[4])
+			}
+		}
 		at += sim.Time(delta)
-		t.Records = append(t.Records, Record{At: at, Op: op, LBA: lba, Blocks: blocks})
+		t.Records = append(t.Records, Record{At: at, Op: op, LBA: lba, Blocks: blocks, Class: uint8(class)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: read: %w", err)
@@ -109,13 +181,27 @@ func ReadText(r io.Reader) (*Trace, error) {
 // Binary format: magic, uvarint-framed header, then per record
 // uvarint(deltaNanos), byte(op), uvarint(lba delta zig-zag), uvarint(blocks).
 // It is several times smaller than text and much faster to parse.
+//
+// RSTB2 extends RSTB1 with the client-class table: after the record count
+// come uvarint(numClasses) class entries (uvarint name length, name
+// bytes, one SLO byte), and every record gains a trailing class byte.
+// Classless traces are still written as RSTB1.
 
-var binMagic = []byte("RSTB1\n")
+var (
+	binMagic   = []byte("RSTB1\n")
+	binMagicV2 = []byte("RSTB2\n")
+)
 
-// WriteBinary encodes t in the compact binary format.
+// WriteBinary encodes t in the compact binary format (RSTB1 when
+// classless, RSTB2 when the trace carries a class table).
 func WriteBinary(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binMagic); err != nil {
+	v2 := len(t.Classes) > 0
+	magic := binMagic
+	if v2 {
+		magic = binMagicV2
+	}
+	if _, err := bw.Write(magic); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -140,6 +226,23 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	if err := put(uint64(len(t.Records))); err != nil {
 		return err
 	}
+	if v2 {
+		if err := put(uint64(len(t.Classes))); err != nil {
+			return err
+		}
+		for _, c := range t.Classes {
+			cn := []byte(c.Name)
+			if err := put(uint64(len(cn))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(cn); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(c.SLO); err != nil {
+				return err
+			}
+		}
+	}
 	var prevAt sim.Time
 	var prevLBA int64
 	for _, r := range t.Records {
@@ -158,18 +261,28 @@ func WriteBinary(w io.Writer, t *Trace) error {
 		if err := put(uint64(r.Blocks)); err != nil {
 			return err
 		}
+		if v2 {
+			if err := bw.WriteByte(r.Class); err != nil {
+				return err
+			}
+		}
 	}
 	return bw.Flush()
 }
 
-// ReadBinary decodes a binary-format trace.
+// ReadBinary decodes a binary-format trace (RSTB1 or RSTB2).
 func ReadBinary(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: binary magic: %w", err)
 	}
-	if string(magic) != string(binMagic) {
+	v2 := false
+	switch string(magic) {
+	case string(binMagic):
+	case string(binMagicV2):
+		v2 = true
+	default:
 		return nil, fmt.Errorf("trace: not a raidsim binary trace")
 	}
 	get := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -213,6 +326,33 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		BlocksPerDisk: int64(bpd),
 		Records:       make([]Record, 0, capHint),
 	}
+	if v2 {
+		nclasses, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("trace: class count: %w", err)
+		}
+		if nclasses < 1 || nclasses > 256 {
+			return nil, fmt.Errorf("trace: unreasonable class count %d", nclasses)
+		}
+		for i := uint64(0); i < nclasses; i++ {
+			cl, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("trace: class %d name length: %w", i, err)
+			}
+			if cl > 1<<12 {
+				return nil, fmt.Errorf("trace: unreasonable class name length %d", cl)
+			}
+			cn := make([]byte, cl)
+			if _, err := io.ReadFull(br, cn); err != nil {
+				return nil, fmt.Errorf("trace: class %d name: %w", i, err)
+			}
+			slo, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: class %d slo: %w", i, err)
+			}
+			t.Classes = append(t.Classes, ClassInfo{Name: string(cn), SLO: slo})
+		}
+	}
 	var at sim.Time
 	var lba int64
 	for i := uint64(0); i < count; i++ {
@@ -235,9 +375,16 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d blocks: %w", i, err)
 		}
+		var class byte
+		if v2 {
+			class, err = br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d class: %w", i, err)
+			}
+		}
 		at += sim.Time(delta)
 		lba += unzigzag(ld)
-		t.Records = append(t.Records, Record{At: at, Op: Op(opb), LBA: lba, Blocks: int(blocks)})
+		t.Records = append(t.Records, Record{At: at, Op: Op(opb), LBA: lba, Blocks: int(blocks), Class: class})
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -37,13 +37,62 @@ type Record struct {
 	Op     Op
 	LBA    int64
 	Blocks int
+	// Class indexes the trace's Classes table (the client class that
+	// issued this request). Always 0 for classless traces.
+	Class uint8
+}
+
+// SLO codes a class's service-level objective in the class table. The
+// codes mirror array.SLOClass (which this package cannot import) plus
+// SLOAuto, the classless default: classify each request by its size, as
+// the simulator always did before client classes existed.
+const (
+	SLOGold  uint8 = 0
+	SLOBatch uint8 = 1
+	SLOAuto  uint8 = 2
+)
+
+// SLOName renders an SLO code for reports and spec files.
+func SLOName(s uint8) string {
+	switch s {
+	case SLOGold:
+		return "gold"
+	case SLOBatch:
+		return "batch"
+	case SLOAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("slo(%d)", s)
+}
+
+// ParseSLO reads a spec-file SLO name ("" = auto).
+func ParseSLO(s string) (uint8, error) {
+	switch s {
+	case "gold":
+		return SLOGold, nil
+	case "batch":
+		return SLOBatch, nil
+	case "auto", "":
+		return SLOAuto, nil
+	}
+	return 0, fmt.Errorf("trace: unknown slo %q (want gold, batch, or auto)", s)
+}
+
+// ClassInfo describes one client class of a multi-client trace.
+type ClassInfo struct {
+	Name string
+	SLO  uint8 // SLOGold, SLOBatch, or SLOAuto
 }
 
 // Trace bundles records with the logical configuration they address.
+// Classes, when non-nil, is the client-class table Record.Class indexes;
+// a nil table means the trace is classless (every record Class 0) and
+// the simulator behaves exactly as before client classes existed.
 type Trace struct {
 	Name          string
 	NumDisks      int
 	BlocksPerDisk int64
+	Classes       []ClassInfo
 	Records       []Record
 }
 
@@ -52,7 +101,13 @@ func (t *Trace) Validate() error {
 	if t.NumDisks <= 0 || t.BlocksPerDisk <= 0 {
 		return fmt.Errorf("trace %q: bad shape %d disks x %d blocks", t.Name, t.NumDisks, t.BlocksPerDisk)
 	}
+	for i, c := range t.Classes {
+		if c.SLO > SLOAuto {
+			return fmt.Errorf("trace %q: class %d (%s) has bad SLO code %d", t.Name, i, c.Name, c.SLO)
+		}
+	}
 	total := int64(t.NumDisks) * t.BlocksPerDisk
+	nclasses := len(t.Classes)
 	var prev sim.Time
 	for i, r := range t.Records {
 		if r.At < prev {
@@ -65,8 +120,22 @@ func (t *Trace) Validate() error {
 		if r.LBA < 0 || r.LBA+int64(r.Blocks) > total {
 			return fmt.Errorf("trace %q: record %d spans [%d,%d) outside [0,%d)", t.Name, i, r.LBA, r.LBA+int64(r.Blocks), total)
 		}
+		if nclasses > 0 && int(r.Class) >= nclasses {
+			return fmt.Errorf("trace %q: record %d has class %d outside the %d-entry class table", t.Name, i, r.Class, nclasses)
+		}
+		if nclasses == 0 && r.Class != 0 {
+			return fmt.Errorf("trace %q: record %d has class %d but the trace has no class table", t.Name, i, r.Class)
+		}
 	}
 	return nil
+}
+
+// copyClasses duplicates the class table so derived traces never alias it.
+func copyClasses(cs []ClassInfo) []ClassInfo {
+	if cs == nil {
+		return nil
+	}
+	return append([]ClassInfo(nil), cs...)
 }
 
 // Duration returns the arrival time of the last record.
@@ -91,6 +160,7 @@ func (t *Trace) Scale(speed float64) (*Trace, error) {
 		Name:          fmt.Sprintf("%s@%gx", t.Name, speed),
 		NumDisks:      t.NumDisks,
 		BlocksPerDisk: t.BlocksPerDisk,
+		Classes:       copyClasses(t.Classes),
 		Records:       make([]Record, len(t.Records)),
 	}
 	for i, r := range t.Records {
@@ -130,6 +200,7 @@ func (t *Trace) SplitByGroup(perGroup int) ([]*Trace, error) {
 			Name:          fmt.Sprintf("%s/g%d", t.Name, g),
 			NumDisks:      disks,
 			BlocksPerDisk: t.BlocksPerDisk,
+			Classes:       copyClasses(t.Classes),
 		}
 	}
 	for _, r := range t.Records {
@@ -152,11 +223,17 @@ func Merge(name string, parts ...*Trace) (*Trace, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("trace: nothing to merge")
 	}
-	out := &Trace{Name: name, NumDisks: parts[0].NumDisks, BlocksPerDisk: parts[0].BlocksPerDisk}
+	out := &Trace{
+		Name: name, NumDisks: parts[0].NumDisks, BlocksPerDisk: parts[0].BlocksPerDisk,
+		Classes: copyClasses(parts[0].Classes),
+	}
 	n := 0
 	for _, p := range parts {
 		if p.NumDisks != out.NumDisks || p.BlocksPerDisk != out.BlocksPerDisk {
 			return nil, fmt.Errorf("trace: merging traces of different shapes")
+		}
+		if !sameClasses(p.Classes, out.Classes) {
+			return nil, fmt.Errorf("trace: merging traces with different class tables")
 		}
 		n += len(p.Records)
 	}
@@ -168,4 +245,17 @@ func Merge(name string, parts ...*Trace) (*Trace, error) {
 		return out.Records[i].At < out.Records[j].At
 	})
 	return out, nil
+}
+
+// sameClasses reports whether two class tables are identical.
+func sameClasses(a, b []ClassInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -305,3 +305,75 @@ func TestCharacterize(t *testing.T) {
 		t.Fatal("empty characterization string")
 	}
 }
+
+func classedTrace() *Trace {
+	tr := sampleTrace()
+	tr.Classes = []ClassInfo{
+		{Name: "oltp", SLO: SLOGold},
+		{Name: "scan", SLO: SLOBatch},
+		{Name: "misc", SLO: SLOAuto},
+	}
+	for i := range tr.Records {
+		tr.Records[i].Class = uint8(i % len(tr.Classes))
+	}
+	return tr
+}
+
+func TestClassedTextRoundtrip(t *testing.T) {
+	tr := classedTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("raidsim-trace v2 ")) {
+		t.Fatalf("classed trace should write v2, got header %q", bytes.SplitN(buf.Bytes(), []byte("\n"), 2)[0])
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Classes, tr.Classes) {
+		t.Fatalf("classes mismatch:\n got %v\nwant %v", got.Classes, tr.Classes)
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Fatalf("records mismatch:\n got %v\nwant %v", got.Records, tr.Records)
+	}
+}
+
+func TestClassedBinaryRoundtrip(t *testing.T) {
+	tr := classedTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("RSTB2\n")) {
+		t.Fatalf("classed trace should write RSTB2, got %q", buf.Bytes()[:6])
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Classes, tr.Classes) {
+		t.Fatalf("classes mismatch:\n got %v\nwant %v", got.Classes, tr.Classes)
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Fatalf("records mismatch:\n got %v\nwant %v", got.Records, tr.Records)
+	}
+}
+
+func TestClasslessStaysV1(t *testing.T) {
+	tr := sampleTrace()
+	var txt, bin bytes.Buffer
+	if err := WriteText(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(txt.Bytes(), []byte("raidsim-trace v1 ")) {
+		t.Fatalf("classless trace should keep v1, got %q", bytes.SplitN(txt.Bytes(), []byte("\n"), 2)[0])
+	}
+	if !bytes.HasPrefix(bin.Bytes(), []byte("RSTB1\n")) {
+		t.Fatalf("classless trace should keep RSTB1, got %q", bin.Bytes()[:6])
+	}
+}

@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"raidsim/internal/sim"
+	"raidsim/internal/trace"
+)
+
+// TestSpecFromProfileBitIdentical is the tentpole's safety contract: a
+// built-in profile expressed as a single-client spec must generate the
+// bit-identical record stream the profile path generates.
+func TestSpecFromProfileBitIdentical(t *testing.T) {
+	for _, mk := range []func() Profile{Trace2Profile, DSSProfile} {
+		p := mk()
+		p.Requests = 20000
+		want, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := SpecFromProfile(p)
+		got, err := sp.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("%s: spec path generated %d records, profile path %d", p.Name, len(got.Records), len(want.Records))
+		}
+		for i := range want.Records {
+			if got.Records[i] != want.Records[i] {
+				t.Fatalf("%s: record %d diverges: spec %+v profile %+v", p.Name, i, got.Records[i], want.Records[i])
+			}
+		}
+		if len(got.Classes) != 1 || got.Classes[0].SLO != trace.SLOAuto {
+			t.Fatalf("%s: single-client spec classes = %+v, want one auto class", p.Name, got.Classes)
+		}
+	}
+}
+
+// TestSpecPerClassProperties checks each client's slice of the merged
+// trace honors its own knobs: exact request count, write fraction and
+// multiblock mix within tolerance.
+func TestSpecPerClassProperties(t *testing.T) {
+	sp := DiurnalSpec()
+	tr, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type agg struct {
+		n, writes, multi int
+		blocks           int64
+	}
+	per := make([]agg, len(sp.Clients))
+	var prev sim.Time
+	for _, r := range tr.Records {
+		if r.At < prev {
+			t.Fatalf("merged trace goes back in time at %d < %d", r.At, prev)
+		}
+		prev = r.At
+		a := &per[r.Class]
+		a.n++
+		if r.Op == trace.Write {
+			a.writes++
+		}
+		if r.Blocks > 1 {
+			a.multi++
+		}
+		a.blocks += int64(r.Blocks)
+	}
+	for i, c := range sp.Clients {
+		a := per[i]
+		wantN := int(math.Round(float64(c.Requests) / sp.TimeScale))
+		if a.n != wantN {
+			t.Errorf("client %s: %d records, want %d", c.Name, a.n, wantN)
+		}
+		if wf := float64(a.writes) / float64(a.n); math.Abs(wf-c.WriteFraction) > 0.02 {
+			t.Errorf("client %s: write fraction %.3f, want %.3f", c.Name, wf, c.WriteFraction)
+		}
+		if mf := float64(a.multi) / float64(a.n); math.Abs(mf-c.MultiBlockFraction) > 0.03 {
+			t.Errorf("client %s: multiblock fraction %.3f, want %.3f", c.Name, mf, c.MultiBlockFraction)
+		}
+	}
+	if tr.Classes[0].SLO != trace.SLOGold || tr.Classes[1].SLO != trace.SLOBatch {
+		t.Errorf("diurnal class table wrong: %+v", tr.Classes)
+	}
+}
+
+// TestTimeScaleInvariance: compressing a spec 12x must preserve every
+// client's operating point — arrival rate, mix — and its share of each
+// schedule phase (checked via load in the first vs second half-cycle).
+func TestTimeScaleInvariance(t *testing.T) {
+	base := Spec{
+		Name:      "inv",
+		Disks:     8,
+		DurationS: 7200,
+		Seed:      7,
+		Clients: []ClientSpec{
+			{
+				Name: "day", Requests: 60000, WriteFraction: 0.3,
+				Arrival: ArrivalSpec{Process: "diurnal", Phases: []PhaseSpec{
+					{StartS: 0, Rate: 0.2}, {StartS: 3600, Rate: 1.0},
+				}},
+			},
+			{Name: "flat", Requests: 24000, WriteFraction: 0.1, MultiBlockFraction: 0.5, MeanMultiBlocks: 12},
+		},
+	}
+	type point struct {
+		rate, wf, firstHalf float64
+	}
+	measure := func(ts float64) []point {
+		sp := base
+		sp.TimeScale = ts
+		tr, err := sp.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dur := float64(secs(sp.DurationS/ts)) / float64(sim.Second)
+		half := secs(sp.DurationS / ts / 2)
+		out := make([]point, len(sp.Clients))
+		counts := make([]int, len(sp.Clients))
+		writes := make([]int, len(sp.Clients))
+		first := make([]int, len(sp.Clients))
+		for _, r := range tr.Records {
+			counts[r.Class]++
+			if r.Op == trace.Write {
+				writes[r.Class]++
+			}
+			if r.At < half {
+				first[r.Class]++
+			}
+		}
+		for i := range out {
+			out[i] = point{
+				rate:      float64(counts[i]) / dur,
+				wf:        float64(writes[i]) / float64(counts[i]),
+				firstHalf: float64(first[i]) / float64(counts[i]),
+			}
+		}
+		return out
+	}
+	a, b := measure(1), measure(12)
+	for i := range a {
+		name := base.Clients[i].Name
+		if rel := math.Abs(a[i].rate-b[i].rate) / a[i].rate; rel > 0.01 {
+			t.Errorf("client %s: rate %.3f/s at ts=1 vs %.3f/s at ts=12 (rel %.3f)", name, a[i].rate, b[i].rate, rel)
+		}
+		if math.Abs(a[i].wf-b[i].wf) > 0.02 {
+			t.Errorf("client %s: write fraction %.3f vs %.3f across time scales", name, a[i].wf, b[i].wf)
+		}
+		if math.Abs(a[i].firstHalf-b[i].firstHalf) > 0.05 {
+			t.Errorf("client %s: first-half load share %.3f vs %.3f across time scales", name, a[i].firstHalf, b[i].firstHalf)
+		}
+	}
+	// The diurnal client must actually be time-varying: the quiet first
+	// half carries far less than half the load.
+	if a[0].firstHalf > 0.35 {
+		t.Errorf("diurnal client first-half share %.3f, want well under 0.5", a[0].firstHalf)
+	}
+}
+
+// TestClientSeedIsolation: adding a client must not perturb the streams
+// of the existing ones.
+func TestClientSeedIsolation(t *testing.T) {
+	sp := Spec{
+		Name: "iso", Disks: 4, DurationS: 600, Seed: 3,
+		Clients: []ClientSpec{{Name: "a", Requests: 3000, WriteFraction: 0.2}},
+	}
+	one, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Clients = append(sp.Clients, ClientSpec{Name: "b", Requests: 3000, WriteFraction: 0.9})
+	two, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onlyA []trace.Record
+	for _, r := range two.Records {
+		if r.Class == 0 {
+			onlyA = append(onlyA, r)
+		}
+	}
+	if len(onlyA) != len(one.Records) {
+		t.Fatalf("client a generated %d records alone, %d alongside b", len(one.Records), len(onlyA))
+	}
+	for i := range onlyA {
+		if onlyA[i] != one.Records[i] {
+			t.Fatalf("client a's record %d changed when client b was added: %+v vs %+v", i, onlyA[i], one.Records[i])
+		}
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	ok := func() Spec {
+		return Spec{Name: "v", Disks: 2, DurationS: 10,
+			Clients: []ClientSpec{{Name: "c", Requests: 10}}}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		frag string
+	}{
+		{"no clients", func(s *Spec) { s.Clients = nil }, "at least one client"},
+		{"no disks", func(s *Spec) { s.Disks = 0 }, "disks"},
+		{"dup names", func(s *Spec) { s.Clients = append(s.Clients, s.Clients[0]) }, "duplicate client name"},
+		{"bad slo", func(s *Spec) { s.Clients[0].SLOClass = "platinum" }, "unknown slo"},
+		{"bad process", func(s *Spec) { s.Clients[0].Arrival.Process = "fractal" }, "unknown arrival process"},
+		{"diurnal no phases", func(s *Spec) { s.Clients[0].Arrival.Process = "diurnal" }, "needs phases"},
+		{"fractional timescale", func(s *Spec) { s.TimeScale = 0.5 }, "time_scale"},
+	}
+	for _, c := range cases {
+		s := ok()
+		c.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %v, want containing %q", c.name, err, c.frag)
+		}
+	}
+	if err := ok().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestResolveAndLoadSpec(t *testing.T) {
+	if _, err := Resolve("trace2"); err != nil {
+		t.Fatalf("builtin trace2: %v", err)
+	}
+	_, err := Resolve("nope")
+	if err == nil || !strings.Contains(err.Error(), "trace1") || !strings.Contains(err.Error(), ".json") {
+		t.Fatalf("unknown-name error should list builtins and mention spec paths, got %v", err)
+	}
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "w.json")
+	if err := os.WriteFile(good, []byte(`{
+		"spec": "raidsim-workload/1", "name": "file", "disks": 2, "duration_s": 5,
+		"clients": [{"name": "c", "requests": 50}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Resolve(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "file" || len(sp.Clients) != 1 {
+		t.Fatalf("loaded spec %+v", sp)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	noheader := filepath.Join(dir, "nh.json")
+	os.WriteFile(noheader, []byte(`{"name": "x", "disks": 1, "duration_s": 1, "clients": []}`), 0o644)
+	if _, err := LoadSpec(noheader); err == nil || !strings.Contains(err.Error(), "missing version header") {
+		t.Fatalf("headerless spec: %v", err)
+	}
+
+	typo := filepath.Join(dir, "typo.json")
+	os.WriteFile(typo, []byte(`{"spec": "raidsim-workload/1", "name": "x", "disks": 1, "duration_s": 1,
+		"clients": [{"name": "c", "requests": 1, "wirte_fraction": 0.5}]}`), 0o644)
+	if _, err := LoadSpec(typo); err == nil || !strings.Contains(err.Error(), `did you mean "write_fraction"`) {
+		t.Fatalf("typo spec: %v", err)
+	}
+}
+
+// TestSortRecordsFallback exercises the displaced-merge path: records far
+// out of order (as merged multi-stream tails are) must still come out
+// stably sorted.
+func TestSortRecordsFallback(t *testing.T) {
+	n := 10000
+	rs := make([]trace.Record, n)
+	for i := range rs {
+		// Two interleaved ramps: displacement ~ n/2, far past the
+		// insertion-sort guard.
+		rs[i] = trace.Record{At: sim.Time((i%2)*1000000 + i), LBA: int64(i)}
+	}
+	sortRecords(rs)
+	for i := 1; i < n; i++ {
+		if rs[i].At < rs[i-1].At {
+			t.Fatalf("unsorted at %d: %d < %d", i, rs[i].At, rs[i-1].At)
+		}
+		if rs[i].At == rs[i-1].At && rs[i].LBA < rs[i-1].LBA {
+			t.Fatalf("unstable at %d", i)
+		}
+	}
+}

@@ -14,6 +14,8 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"slices"
 
 	"raidsim/internal/rng"
 	"raidsim/internal/sim"
@@ -85,7 +87,27 @@ type Profile struct {
 	LoadBurstDuty   float64
 	LoadBurstPeriod sim.Time
 
+	// Schedule, when non-empty, shapes transaction arrivals with a
+	// piecewise-constant relative rate over time — a diurnal curve, a
+	// nightly batch window, a maintenance spike. Phase k applies from
+	// Schedule[k].Start until the next phase's start; the shape repeats
+	// with period SchedulePeriod (0 = Duration, i.e. one cycle spans the
+	// whole trace). Rates are relative weights: the generator normalizes
+	// them so Requests over Duration — the long-run operating point — is
+	// preserved, exactly as LoadBurstFactor does for busy/quiet bursts.
+	// A rate of 0 silences the client for that phase (how scheduled batch
+	// windows and backup spikes are expressed). Mutually exclusive with
+	// LoadBurstFactor modulation.
+	Schedule       []RatePhase
+	SchedulePeriod sim.Time
+
 	Seed uint64
+}
+
+// RatePhase is one segment of a piecewise-constant arrival-rate schedule.
+type RatePhase struct {
+	Start sim.Time // offset of this phase within the cycle
+	Rate  float64  // relative arrival-rate weight (>= 0)
 }
 
 // Validate reports configuration errors.
@@ -130,6 +152,36 @@ func (p Profile) Validate() error {
 			return fmt.Errorf("workload %q: LoadBurstPeriod must be positive", p.Name)
 		}
 	}
+	if len(p.Schedule) > 0 {
+		if p.LoadBurstFactor > 1 {
+			return fmt.Errorf("workload %q: Schedule and LoadBurst modulation are mutually exclusive", p.Name)
+		}
+		if p.Schedule[0].Start != 0 {
+			return fmt.Errorf("workload %q: Schedule must start at 0, got %v", p.Name, p.Schedule[0].Start)
+		}
+		anyPositive := false
+		for i, ph := range p.Schedule {
+			if ph.Rate < 0 {
+				return fmt.Errorf("workload %q: Schedule phase %d has negative rate %g", p.Name, i, ph.Rate)
+			}
+			if ph.Rate > 0 {
+				anyPositive = true
+			}
+			if i > 0 && ph.Start <= p.Schedule[i-1].Start {
+				return fmt.Errorf("workload %q: Schedule phase starts must strictly increase (phase %d)", p.Name, i)
+			}
+		}
+		if !anyPositive {
+			return fmt.Errorf("workload %q: Schedule needs at least one phase with positive rate", p.Name)
+		}
+		period := p.SchedulePeriod
+		if period == 0 {
+			period = p.Duration
+		}
+		if last := p.Schedule[len(p.Schedule)-1].Start; last >= period {
+			return fmt.Errorf("workload %q: Schedule phase start %v reaches past the cycle period %v", p.Name, last, period)
+		}
+	}
 	return nil
 }
 
@@ -146,6 +198,17 @@ func (p Profile) Scaled(f float64) Profile {
 		q.Requests = 1
 	}
 	q.Duration = sim.Time(float64(p.Duration) * f)
+	// The macro-scale rate schedule compresses with the duration, so the
+	// shape (and each phase's share of the requests) is preserved; burst
+	// micro-structure (IntraBurstGap, LoadBurstPeriod) stays absolute,
+	// like the locality window below.
+	if len(p.Schedule) > 0 {
+		q.Schedule = make([]RatePhase, len(p.Schedule))
+		for i, ph := range p.Schedule {
+			q.Schedule[i] = RatePhase{Start: sim.Time(float64(ph.Start) * f), Rate: ph.Rate}
+		}
+		q.SchedulePeriod = sim.Time(float64(p.SchedulePeriod) * f)
+	}
 	// The locality window stays absolute: the stack-distance distribution
 	// — and with it the hit-ratio-versus-cache-size curve — must not
 	// depend on how much of the trace is generated.
@@ -292,6 +355,47 @@ func Generate(p Profile) (*trace.Trace, error) {
 	var phaseBusy bool
 	var phaseEnd float64
 	candGap := txGap
+
+	// A rate schedule uses the same thinning: candidates arrive at the
+	// peak-phase rate and each is accepted with probability
+	// rate(t)/peak, so within every phase the process is exactly Poisson
+	// at that phase's rate, and the time-weighted mean rate keeps
+	// Requests over Duration — the operating point — unchanged.
+	scheduled := len(p.Schedule) > 0
+	var schedPeak float64
+	var rateAt func(float64) float64
+	if scheduled {
+		period := float64(p.SchedulePeriod)
+		if period == 0 {
+			period = float64(p.Duration)
+		}
+		var peak, weighted float64
+		for k, ph := range p.Schedule {
+			end := period
+			if k+1 < len(p.Schedule) {
+				end = float64(p.Schedule[k+1].Start)
+			}
+			weighted += ph.Rate * (end - float64(ph.Start))
+			if ph.Rate > peak {
+				peak = ph.Rate
+			}
+		}
+		mean := weighted / period
+		schedPeak = peak
+		candGap = txGap * mean / peak
+		sched := p.Schedule
+		rateAt = func(t float64) float64 {
+			tm := math.Mod(t, period)
+			r := sched[len(sched)-1].Rate
+			for k := 1; k < len(sched); k++ {
+				if tm < float64(sched[k].Start) {
+					r = sched[k-1].Rate
+					break
+				}
+			}
+			return r
+		}
+	}
 	if modulated {
 		f, d := p.LoadBurstFactor, p.LoadBurstDuty
 		quietRate := (1 - d*f) / (1 - d) // relative to the average rate
@@ -322,6 +426,9 @@ func Generate(p Profile) (*trace.Trace, error) {
 			if !phaseBusy && !arrivalSrc.Bool(quietAccept) {
 				continue
 			}
+		}
+		if scheduled && !arrivalSrc.Bool(rateAt(now)/schedPeak) {
+			continue
 		}
 		burst := opSrc.Geometric(p.TransactionMeanIOs)
 		bt := now
@@ -391,9 +498,33 @@ func Generate(p Profile) (*trace.Trace, error) {
 	return t, nil
 }
 
+// sortDisplacement is the lookback the nearly-sorted guard in
+// sortRecords uses: a record arriving earlier than the record this many
+// positions before it has to travel at least that far, and insertion
+// sort degenerates toward O(n^2).
+const sortDisplacement = 64
+
 func sortRecords(rs []trace.Record) {
-	// Insertion sort: the sequence is nearly sorted (only adjacent burst
-	// overlap), so this is O(n) in practice.
+	// A single generator's stream is nearly sorted: only adjacent bursts
+	// overlap, so insertion sort is O(n) in practice. Merged independent
+	// client streams are not — a quiet client's burst can land arbitrarily
+	// far inside a busy client's run — so past a displacement threshold
+	// fall back to a stable O(n log n) sort. Both paths are stable sorts
+	// on At, so which one runs never changes the output.
+	for i := sortDisplacement; i < len(rs); i++ {
+		if rs[i].At < rs[i-sortDisplacement].At {
+			slices.SortStableFunc(rs, func(a, b trace.Record) int {
+				switch {
+				case a.At < b.At:
+					return -1
+				case a.At > b.At:
+					return 1
+				}
+				return 0
+			})
+			return
+		}
+	}
 	for i := 1; i < len(rs); i++ {
 		for j := i; j > 0 && rs[j].At < rs[j-1].At; j-- {
 			rs[j], rs[j-1] = rs[j-1], rs[j]
