@@ -288,7 +288,6 @@ func BenchmarkExtRAID3(b *testing.B) {
 
 // --- Controller Submit hot path ----------------------------------------
 
-// BenchmarkArraySubmit drives one array controller's Submit path per
 // BenchmarkCampaign measures the fleet campaign runner end to end: a
 // 4-organization x 4-seed grid (16 runs) per iteration, sharded over 1
 // worker vs GOMAXPROCS-bounded pools. Reported runs/s and events/s feed
@@ -308,12 +307,12 @@ func BenchmarkCampaign(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, workers := range []int{1, 8} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var runs, events uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				out, err := campaign.Execute(points, campaign.Options{Workers: workers})
+				out, err := campaign.Execute(points, campaign.Options{Workers: workers, SelfMetrics: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -333,13 +332,15 @@ func BenchmarkCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkArraySubmit drives one array controller's Submit path per
 // organization with a mixed 30%-write workload, one request per
 // iteration (benchstat-friendly: compare runs with
 // `benchstat old.txt new.txt`). The *Obs variants run the same work with
 // a windowed observability recorder armed; the *Spans variants
-// additionally arm the per-request span tracer. Each gap to the matching
-// plain/Obs run is that layer's overhead budget (≤5%). Baselines live in
-// BENCH_array.json.
+// additionally arm the per-request span tracer; the *Meter variants arm
+// the engine self-meter. Each gap to the matching plain/Obs run is that
+// layer's overhead budget (≤5% for obs, ≤1% for the meter). Baselines
+// live in BENCH_array.json.
 func BenchmarkArraySubmit(b *testing.B) {
 	points := []struct {
 		name   string
@@ -348,20 +349,23 @@ func BenchmarkArraySubmit(b *testing.B) {
 		obs    bool
 		spans  bool
 		robust bool
+		meter  bool
 	}{
-		{"base", array.OrgBase, false, false, false, false},
-		{"mirror", array.OrgMirror, false, false, false, false},
-		{"raid10", array.OrgRAID10, false, false, false, false},
-		{"raid5", array.OrgRAID5, false, false, false, false},
-		{"pstripe", array.OrgParityStriping, false, false, false, false},
-		{"raid5cached", array.OrgRAID5, true, false, false, false},
-		{"raid4cached", array.OrgRAID4, true, false, false, false},
-		{"raid5Obs", array.OrgRAID5, false, true, false, false},
-		{"raid5cachedObs", array.OrgRAID5, true, true, false, false},
-		{"raid5Spans", array.OrgRAID5, false, true, true, false},
-		{"raid5cachedSpans", array.OrgRAID5, true, true, true, false},
-		{"raid5Robust", array.OrgRAID5, false, false, false, true},
-		{"raid5cachedRobust", array.OrgRAID5, true, false, false, true},
+		{name: "base", org: array.OrgBase},
+		{name: "mirror", org: array.OrgMirror},
+		{name: "raid10", org: array.OrgRAID10},
+		{name: "raid5", org: array.OrgRAID5},
+		{name: "pstripe", org: array.OrgParityStriping},
+		{name: "raid5cached", org: array.OrgRAID5, cached: true},
+		{name: "raid4cached", org: array.OrgRAID4, cached: true},
+		{name: "raid5Obs", org: array.OrgRAID5, obs: true},
+		{name: "raid5cachedObs", org: array.OrgRAID5, cached: true, obs: true},
+		{name: "raid5Spans", org: array.OrgRAID5, obs: true, spans: true},
+		{name: "raid5cachedSpans", org: array.OrgRAID5, cached: true, obs: true, spans: true},
+		{name: "raid5Robust", org: array.OrgRAID5, robust: true},
+		{name: "raid5cachedRobust", org: array.OrgRAID5, cached: true, robust: true},
+		{name: "raid5Meter", org: array.OrgRAID5, meter: true},
+		{name: "raid5cachedMeter", org: array.OrgRAID5, cached: true, meter: true},
 	}
 	for _, p := range points {
 		b.Run(p.name, func(b *testing.B) {
@@ -389,6 +393,10 @@ func BenchmarkArraySubmit(b *testing.B) {
 			}
 			src := rng.New(42)
 			capacity := ctrl.DataBlocks()
+			var meter *sim.Meter
+			if p.meter {
+				meter = eng.StartMeter(true)
+			}
 			// Closed loop: keep a fixed number of requests outstanding so
 			// the per-iteration work stays steady instead of queues growing
 			// without bound.
@@ -413,6 +421,11 @@ func BenchmarkArraySubmit(b *testing.B) {
 				eng.RunFor(sim.Millisecond)
 			}
 			b.StopTimer()
+			if meter != nil {
+				if ms := meter.Stop(); ms.Events == 0 {
+					b.Fatal("armed meter saw no events")
+				}
+			}
 			if !ctrl.Drained() {
 				b.Fatal("controller did not drain")
 			}

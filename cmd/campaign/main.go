@@ -12,6 +12,8 @@
 //	campaign -spec sweep.json -out sweep.jsonl -workers 8
 //	campaign -spec sweep.json -a org=raid5 -b org=mirror
 //	campaign -spec sweep.json -csv > groups.csv
+//	campaign -spec sweep.json -out sweep.jsonl -runlog sweep.runs.jsonl -self-metrics
+//	campaign -spec sweep.json -http :9090 -http-hold 1m
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"raidsim/internal/campaign"
 	"raidsim/internal/core"
@@ -38,6 +41,11 @@ func main() {
 		bSel      = flag.String("b", "", "comparison candidate selector, e.g. org=mirror (with -a)")
 		seriesOut = flag.String("series-out", "", "write the merged fleet time series as CSV (needs obs_window_s in the spec)")
 		quiet     = flag.Bool("q", false, "suppress per-run progress on stderr")
+
+		httpAddr    = flag.String("http", "", "serve live campaign introspection (/metrics, /runs, /healthz, pprof) on this address, e.g. :9090")
+		httpHold    = flag.Duration("http-hold", 0, "keep the introspection server up this long after the campaign finishes")
+		runlogPath  = flag.String("runlog", "", "write a structured execution log (raidsim-runlog/1 JSONL) alongside the journal; truncated each execution")
+		selfMetrics = flag.Bool("self-metrics", false, "meter each run's engine (events/sec, heap depth, allocations); never changes results")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -56,9 +64,28 @@ func main() {
 		fatal(err)
 	}
 
-	opts := campaign.Options{Workers: *workers}
+	// The fleet registry is always armed: the progress line reads it for
+	// ETA and throughput even when no HTTP server is serving it.
+	live := obs.NewLive()
+	opts := campaign.Options{Workers: *workers, Live: live, SelfMetrics: *selfMetrics}
 	if opts.Workers == 0 {
 		opts.Workers = spec.Workers
+	}
+	var srv *obs.Server
+	if *httpAddr != "" {
+		srv, err = obs.Serve(*httpAddr, live)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: introspection on http://%s (/metrics /runs /healthz /debug/pprof/)\n", srv.Addr)
+	}
+	var runlog *campaign.RunLog
+	if *runlogPath != "" {
+		runlog, err = campaign.OpenRunLog(*runlogPath, spec.Name)
+		if err != nil {
+			fatal(err)
+		}
+		opts.RunLog = runlog
 	}
 	if *out != "" {
 		if *fresh {
@@ -75,7 +102,7 @@ func main() {
 	}
 	if !*quiet {
 		opts.OnProgress = func(done, total int, p campaign.Point) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, p.ID)
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", done, total, p.ID, progressSuffix(live.Fleet(), done, total))
 		}
 	}
 	var series *obs.Series
@@ -109,6 +136,23 @@ func main() {
 	fmt.Fprintln(os.Stderr)
 	for _, e := range outcome.Failed() {
 		fmt.Fprintf(os.Stderr, "failed: %s\n", e)
+	}
+	if !*quiet {
+		// The fleet table goes to stderr with the rest of the timing:
+		// stdout is reserved for the deterministic result tables.
+		if ft := report.FleetTable("fleet execution", fleetStats(outcome, len(points))); ft != nil {
+			if *selfMetrics {
+				ft.AddNote("engine: " + outcome.Engine.String())
+			}
+			if err := ft.Render(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if runlog != nil {
+		if err := runlog.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	fleet, err := campaign.Merge(outcome.Records)
@@ -144,9 +188,53 @@ func main() {
 			}
 		}
 	}
+	if srv != nil {
+		if *httpHold > 0 {
+			fmt.Fprintf(os.Stderr, "campaign: holding introspection server for %s\n", *httpHold)
+			time.Sleep(*httpHold)
+		}
+		srv.Close()
+	}
 	if len(outcome.Failed()) > 0 {
 		os.Exit(1)
 	}
+}
+
+// progressSuffix annotates the per-run progress line with the fleet
+// registry's live view: aggregate engine events/sec, and an ETA
+// extrapolated from the fresh-execution rate (journal replays finish
+// instantly, so they shorten the remaining count without feeding the
+// rate).
+func progressSuffix(f obs.FleetStatus, done, total int) string {
+	if f.Finished == 0 || f.ElapsedSec <= 0 {
+		return ""
+	}
+	s := fmt.Sprintf(" — %.0f ev/s", f.EventsPerSec)
+	if rem := total - done; rem > 0 {
+		s += fmt.Sprintf(", eta %.0fs", f.ElapsedSec/float64(f.Finished)*float64(rem))
+	}
+	return s
+}
+
+// fleetStats translates a campaign outcome into the report layer's
+// fleet-summary shape (report stays ignorant of the campaign package's
+// types; this is the one place the two vocabularies meet).
+func fleetStats(o *campaign.Outcome, runs int) report.FleetStats {
+	f := report.FleetStats{
+		Runs:     runs,
+		Executed: o.Executed,
+		Resumed:  o.Skipped,
+		Failed:   len(o.Failed()),
+		Events:   o.Events,
+		WallNS:   o.Elapsed.Nanoseconds(),
+	}
+	for _, w := range o.Workers {
+		f.BusyNS += int64(w.Busy)
+		f.Workers = append(f.Workers, report.WorkerRow{
+			Worker: w.Worker, Tasks: w.Tasks, Steals: w.Steals, BusyNS: int64(w.Busy),
+		})
+	}
+	return f
 }
 
 // render writes the per-group summary table.

@@ -13,6 +13,7 @@
 //	raidsim -trace t.bin -org pstripe -placement end -sync rfpr
 //	raidsim -workload trace2 -org raid5 -obs-window 1s -obs-trace 256 -obs-jsonl events.jsonl
 //	raidsim -workload trace2 -org raid5 -cached -trace-spans spans.json -http :8080
+//	raidsim -workload trace2 -org raid5 -self-metrics
 package main
 
 import (
@@ -272,6 +273,14 @@ func printResults(cfg core.Config, tr *trace.Trace, res *core.Results, perDisk b
 		stage("destage stall", res.Stages.DestageStallMS)
 	}
 	t.AddRow("events simulated", fmt.Sprintf("%d", res.Events))
+	if res.Engine.Events > 0 {
+		t.AddRow("engine events/s (host)", fmt.Sprintf("%.0f", res.Engine.EventsPerSec()))
+		t.AddRow("engine busy (ms)", fmt.Sprintf("%.1f", float64(res.Engine.WallNS)/1e6))
+		t.AddRow("event heap high-water", fmt.Sprintf("%d", res.Engine.HeapHighWater))
+		t.AddRow("call free-list hit ratio", fmt.Sprintf("%.4f (%d/%d)", res.Engine.CallHitRatio(),
+			res.Engine.CallHits, res.Engine.CallHits+res.Engine.CallMisses))
+		t.AddRow("metered allocations", fmt.Sprintf("%d B in %d mallocs", res.Engine.AllocBytes, res.Engine.Mallocs))
+	}
 	var usum, umax float64
 	for _, u := range res.DiskUtil {
 		usum += u

@@ -319,6 +319,64 @@ func TestObservabilityEquivalence(t *testing.T) {
 	}
 }
 
+// TestSelfMetricsEquivalence re-runs the full equivalence matrix with
+// engine self-metrics armed and checks the COMPLETE fingerprint — event
+// count included — against the golden captures: the meter is pure
+// observation, scheduling nothing and consuming no randomness, so unlike
+// the obs sampler it may not add even one engine event. It also checks
+// the meter's own accounting against the results it rode along with.
+func TestSelfMetricsEquivalence(t *testing.T) {
+	p := smallProfile()
+	p.Requests = 4000
+	p.Duration = 240 * sim.Second
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range equivalenceCases {
+		cfg := core.Config{
+			Org: tc.org, DataDisks: 10, N: 5,
+			Spec: geom.Default(), Sync: tc.sync,
+			Cached: tc.cached, CacheMB: 8, Seed: 9,
+			Placement:   layout.EndPlacement,
+			SelfMetrics: true,
+		}
+		if tc.faulted {
+			cfg.Spares = 1
+			cfg.Fault = fault.Config{
+				DiskFails: []fault.DiskFail{{Disk: 1, At: 30 * sim.Second}},
+			}
+			if tc.cached {
+				cfg.Fault.CacheFailAt = 60 * sim.Second
+			}
+		}
+		res, err := core.Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, ok := equivalenceGolden[tc.name]
+		if !ok {
+			continue
+		}
+		if got := fingerprint(res); got != want {
+			t.Errorf("%s: metering changed the simulation\n got: %s\nwant: %s", tc.name, got, want)
+		}
+		m := res.Engine
+		if m.Events != res.Events {
+			t.Errorf("%s: meter counted %d events, results report %d", tc.name, m.Events, res.Events)
+		}
+		if m.WallNS <= 0 || m.EventsPerSec() <= 0 {
+			t.Errorf("%s: meter wall=%d ev/s=%g", tc.name, m.WallNS, m.EventsPerSec())
+		}
+		if m.HeapHighWater <= 0 {
+			t.Errorf("%s: heap high-water %d", tc.name, m.HeapHighWater)
+		}
+		if m.CallHits+m.CallMisses == 0 {
+			t.Errorf("%s: meter saw no Call free-list traffic", tc.name)
+		}
+	}
+}
+
 // TestSpanExportPerfetto runs a cached RAID5 with a mid-run disk failure
 // and a hot spare, tracer armed, and checks the Chrome trace-event export
 // is valid JSON carrying the spans the issue calls out: parity RMW legs

@@ -3,11 +3,14 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
 	"raidsim/internal/campaign/shard"
 	"raidsim/internal/core"
+	"raidsim/internal/obs"
+	"raidsim/internal/sim"
 )
 
 // Options configures Execute.
@@ -31,6 +34,20 @@ type Options struct {
 	// Completed runs are already journaled, so a canceled campaign
 	// resumes where it stopped.
 	Context context.Context
+
+	// Live, when set, receives fleet telemetry as the campaign runs:
+	// SetFleet on entry, RunStarted/RunFinished per point, worker
+	// occupancy as completions land, so an HTTP introspection server
+	// sees the campaign in flight. Pure observation — the registry never
+	// feeds back into execution.
+	Live *obs.Live
+	// RunLog, when set, receives one structured entry per point
+	// (executed, resumed, or failed) alongside the journal.
+	RunLog *RunLog
+	// SelfMetrics arms per-run engine metering (core.Config.SelfMetrics)
+	// so records in Live, the run log, and Outcome.Engine carry engine
+	// self-metrics. Metered runs are bit-identical to unmetered ones.
+	SelfMetrics bool
 }
 
 // Outcome is what a campaign execution produced: one record per point
@@ -49,6 +66,12 @@ type Outcome struct {
 	Events uint64
 	// Elapsed is the wall-clock time of the Execute call.
 	Elapsed time.Duration
+	// Workers is the pool's per-worker accounting (tasks, steals, busy
+	// time); nil when every point was journal-replayed.
+	Workers []shard.WorkerStats
+	// Engine aggregates engine self-metrics across executed runs; zero
+	// unless Options.SelfMetrics was set.
+	Engine sim.MeterStats
 }
 
 // Failed returns the non-empty error strings.
@@ -83,6 +106,7 @@ func Execute(points []Point, opts Options) (*Outcome, error) {
 		seen[p.ID] = true
 	}
 
+	opts.Live.SetFleet(len(points))
 	out := &Outcome{
 		Records: make([]RunRecord, len(points)),
 		Errors:  make([]string, len(points)),
@@ -94,6 +118,12 @@ func Execute(points []Point, opts Options) (*Outcome, error) {
 			if rec, ok := done[p.ID]; ok {
 				out.Records[i] = rec
 				out.Skipped++
+				opts.Live.RunFinished(runStatus(p, rec, "resumed"))
+				if opts.RunLog != nil {
+					if err := opts.RunLog.Append(runLogEntry(p, rec, "resumed", -1, "", sim.MeterStats{})); err != nil {
+						return nil, err
+					}
+				}
 			} else {
 				pending = append(pending, i)
 			}
@@ -108,17 +138,38 @@ func Execute(points []Point, opts Options) (*Outcome, error) {
 	start := time.Now()
 	var mu sync.Mutex
 	finished := out.Skipped
-	shard.Map(opts.Workers, len(pending), func(pi int) {
+	// workerTasks tracks completions per worker for the live registry;
+	// the pool's own stats (steals, busy time) replace it when the pool
+	// returns. Sized the way shard.MapStats sizes its pool.
+	var workerTasks []int
+	if len(pending) > 0 {
+		n := opts.Workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n > len(pending) {
+			n = len(pending)
+		}
+		workerTasks = make([]int, n)
+	}
+	stats := shard.MapStats(opts.Workers, len(pending), func(worker, pi int) {
 		i := pending[pi]
 		p := points[i]
 		if err := ctx.Err(); err != nil {
-			out.Errors[i] = fmt.Sprintf("%s: canceled: %v", p.ID, err)
+			msg := fmt.Sprintf("%s: canceled: %v", p.ID, err)
+			out.Errors[i] = msg
+			finishRun(opts, &mu, p, RunRecord{}, "failed", worker, msg, sim.MeterStats{})
 			return
 		}
+		opts.Live.RunStarted(p.ID, paramKey(p.Params, true), p.Config.Seed, worker)
+		cfg := p.Config
+		cfg.SelfMetrics = opts.SelfMetrics
 		t0 := time.Now()
-		res, err := core.RunContext(ctx, p.Config, p.Trace)
+		res, err := core.RunContext(ctx, cfg, p.Trace)
 		if err != nil {
-			out.Errors[i] = fmt.Sprintf("%s: %v", p.ID, err)
+			msg := fmt.Sprintf("%s: %v", p.ID, err)
+			out.Errors[i] = msg
+			finishRun(opts, &mu, p, RunRecord{}, "failed", worker, msg, sim.MeterStats{})
 			return
 		}
 		rec := NewRecord(p, res, float64(time.Since(t0))/float64(time.Millisecond))
@@ -133,7 +184,19 @@ func Execute(points []Point, opts Options) (*Outcome, error) {
 		out.Records[i] = rec
 		out.Executed++
 		out.Events += res.Events
+		out.Engine.Add(res.Engine)
 		finished++
+		opts.Live.RunFinished(runStatusMetered(p, rec, "done", worker, res.Engine))
+		if workerTasks != nil {
+			workerTasks[worker]++
+			opts.Live.PublishWorkers(liveWorkers(workerTasks))
+		}
+		if opts.RunLog != nil {
+			if err := opts.RunLog.Append(runLogEntry(p, rec, "executed", worker, "", res.Engine)); err != nil {
+				out.Errors[i] = fmt.Sprintf("%s: %v", p.ID, err)
+				return
+			}
+		}
 		if opts.OnResult != nil {
 			opts.OnResult(i, p, res)
 		}
@@ -142,5 +205,88 @@ func Execute(points []Point, opts Options) (*Outcome, error) {
 		}
 	})
 	out.Elapsed = time.Since(start)
+	out.Workers = stats
+	opts.Live.PublishWorkers(shardWorkers(stats))
 	return out, nil
+}
+
+// finishRun records a failed point in the live registry and run log,
+// serialized under the completion mutex.
+func finishRun(opts Options, mu *sync.Mutex, p Point, rec RunRecord, state string, worker int, errMsg string, m sim.MeterStats) {
+	if opts.Live == nil && opts.RunLog == nil {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	st := runStatus(p, rec, state)
+	st.Worker = worker
+	st.Err = errMsg
+	opts.Live.RunFinished(st)
+	if opts.RunLog != nil {
+		// A failed append here has nowhere better to go than the log's
+		// own error on Close; the run's primary error is already recorded.
+		_ = opts.RunLog.Append(runLogEntry(p, rec, state, worker, errMsg, m))
+	}
+}
+
+// runStatus converts a point and its record into the live registry's
+// run-status form.
+func runStatus(p Point, rec RunRecord, state string) obs.RunStatus {
+	return obs.RunStatus{
+		ID:       p.ID,
+		Group:    paramKey(p.Params, true),
+		Seed:     p.Config.Seed,
+		State:    state,
+		WallMS:   rec.ElapsedMS,
+		Events:   rec.Events,
+		Requests: rec.Requests,
+		MeanMS:   rec.Resp.Mean,
+	}
+}
+
+func runStatusMetered(p Point, rec RunRecord, state string, worker int, m sim.MeterStats) obs.RunStatus {
+	st := runStatus(p, rec, state)
+	st.Worker = worker
+	if m.WallNS > 0 {
+		st.EventsPerSec = m.EventsPerSec()
+	}
+	return st
+}
+
+// runLogEntry converts a completed point into its run-log form.
+func runLogEntry(p Point, rec RunRecord, outcome string, worker int, errMsg string, m sim.MeterStats) RunLogEntry {
+	return RunLogEntry{
+		ID:       p.ID,
+		Seed:     p.Config.Seed,
+		Group:    paramKey(p.Params, true),
+		Worker:   worker,
+		Outcome:  outcome,
+		Err:      errMsg,
+		WallMS:   rec.ElapsedMS,
+		Events:   rec.Events,
+		Requests: rec.Requests,
+		MeanMS:   rec.Resp.Mean,
+		Engine:   m,
+	}
+}
+
+// liveWorkers renders the in-flight task counters for the registry.
+func liveWorkers(tasks []int) []obs.WorkerStatus {
+	out := make([]obs.WorkerStatus, len(tasks))
+	for w, n := range tasks {
+		out[w] = obs.WorkerStatus{Worker: w, Tasks: n}
+	}
+	return out
+}
+
+// shardWorkers converts the pool's final per-worker stats.
+func shardWorkers(stats []shard.WorkerStats) []obs.WorkerStatus {
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make([]obs.WorkerStatus, len(stats))
+	for i, st := range stats {
+		out[i] = obs.WorkerStatus{Worker: st.Worker, Tasks: st.Tasks, Steals: st.Steals, BusyNS: int64(st.Busy)}
+	}
+	return out
 }

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"path/filepath"
+	"testing"
+
+	"raidsim/internal/obs"
+)
+
+// TestExecuteTelemetry runs a campaign with the full telemetry surface
+// armed — live registry, run log, self-metrics — and checks the three
+// views agree with the outcome and with each other, then resumes from
+// the journal and checks replays are logged as "resumed".
+func TestExecuteTelemetry(t *testing.T) {
+	s := testSpec()
+	points, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Telemetry must not perturb results: fingerprints match a bare run.
+	bare := executeSpec(t, s, Options{Workers: 1})
+
+	live := obs.NewLive()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenJournal(jpath, s.Name, s.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlPath := filepath.Join(dir, "runlog.jsonl")
+	rl, err := OpenRunLog(rlPath, s.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := executeSpec(t, s, Options{
+		Workers: 2, Journal: j, Live: live, RunLog: rl, SelfMetrics: true,
+	})
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	for i := range out.Records {
+		if got, want := out.Records[i].Fingerprint(), bare.Records[i].Fingerprint(); got != want {
+			t.Errorf("telemetry changed run %s:\n got: %s\nwant: %s", points[i].ID, got, want)
+		}
+	}
+	if out.Engine.Events != out.Events {
+		t.Errorf("aggregate meter saw %d events, outcome reports %d", out.Engine.Events, out.Events)
+	}
+	if out.Engine.WallNS <= 0 || out.Engine.HeapHighWater <= 0 {
+		t.Errorf("aggregate meter not populated: %+v", out.Engine)
+	}
+	var poolTasks int
+	for _, w := range out.Workers {
+		poolTasks += w.Tasks
+	}
+	if poolTasks != len(points) {
+		t.Errorf("pool stats cover %d tasks, want %d", poolTasks, len(points))
+	}
+
+	// Live registry agrees.
+	f := live.Fleet()
+	if f.Total != len(points) || f.Finished != len(points) || f.Failed != 0 || f.Resumed != 0 {
+		t.Errorf("fleet status: %+v", f)
+	}
+	if f.Events != out.Events {
+		t.Errorf("fleet events %d, outcome %d", f.Events, out.Events)
+	}
+	if len(live.Runs()) != len(points) {
+		t.Errorf("registry tracks %d runs, want %d", len(live.Runs()), len(points))
+	}
+	// 2 orgs × 1 N → 2 groups of 2 seeds each.
+	if len(f.Groups) != 2 || f.Groups[0].Runs != 2 {
+		t.Errorf("fleet groups: %+v", f.Groups)
+	}
+	if len(f.Workers) == 0 {
+		t.Errorf("no worker occupancy published")
+	}
+
+	// Run log replays to the same fleet totals as the journal.
+	name, entries, err := ReadRunLog(rlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != s.Name {
+		t.Errorf("run log names campaign %q, want %q", name, s.Name)
+	}
+	tot := SummarizeRunLog(entries)
+	if tot.Executed != len(points) || tot.Resumed != 0 || tot.Failed != 0 {
+		t.Errorf("run log totals: %+v", tot)
+	}
+	if tot.Events != out.Events {
+		t.Errorf("run log events %d, outcome %d", tot.Events, out.Events)
+	}
+	var reqs int64
+	for _, rec := range out.Records {
+		reqs += rec.Requests
+	}
+	if tot.Requests != reqs {
+		t.Errorf("run log requests %d, journal %d", tot.Requests, reqs)
+	}
+	for _, e := range entries {
+		if e.Engine.Events == 0 || e.Engine.WallNS <= 0 {
+			t.Errorf("%s: entry missing self-metrics: %+v", e.ID, e.Engine)
+		}
+		if e.Worker < 0 || e.Worker > 1 {
+			t.Errorf("%s: worker %d out of pool range", e.ID, e.Worker)
+		}
+	}
+
+	// Resume: everything replays; the fresh run log records it as such.
+	j2, err := OpenJournal(jpath, s.Name, s.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl2, err := OpenRunLog(rlPath, s.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live2 := obs.NewLive()
+	out2 := executeSpec(t, s, Options{Workers: 2, Journal: j2, Live: live2, RunLog: rl2})
+	if err := rl2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if out2.Executed != 0 || out2.Skipped != len(points) {
+		t.Fatalf("resume executed %d, skipped %d", out2.Executed, out2.Skipped)
+	}
+	if _, entries2, err := ReadRunLog(rlPath); err != nil {
+		t.Fatal(err)
+	} else {
+		tot2 := SummarizeRunLog(entries2)
+		if tot2.Resumed != len(points) || tot2.Executed != 0 {
+			t.Errorf("resumed run log totals: %+v", tot2)
+		}
+		// Replays carry the journaled outcome, so fleet totals survive.
+		if tot2.Events != out.Events || tot2.Requests != reqs {
+			t.Errorf("resumed run log events/requests %d/%d, want %d/%d",
+				tot2.Events, tot2.Requests, out.Events, reqs)
+		}
+	}
+	if f2 := live2.Fleet(); f2.Resumed != len(points) || f2.Events != out.Events {
+		t.Errorf("resumed fleet status: %+v", f2)
+	}
+}

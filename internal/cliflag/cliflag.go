@@ -50,9 +50,10 @@ type Binding struct {
 	cacheFailAt *time.Duration
 	faultSeed   *uint64
 
-	obsWindow *time.Duration
-	obsTrace  *int
-	traceTopK *int
+	obsWindow   *time.Duration
+	obsTrace    *int
+	traceTopK   *int
+	selfMetrics *bool
 
 	deadline      *time.Duration
 	batchDeadline *time.Duration
@@ -100,9 +101,10 @@ func Bind(fs *flag.FlagSet) *Binding {
 		cacheFailAt: fs.Duration("cache-fail-at", 0, "fail the NVRAM cache at this time (0 = never)"),
 		faultSeed:   fs.Uint64("fault-seed", 0, "seed for the stochastic fault streams"),
 
-		obsWindow: fs.Duration("obs-window", 0, "record a windowed time series with this window width (e.g. 1s; 0 = off)"),
-		obsTrace:  fs.Int("obs-trace", 0, "keep the newest N observability events for JSONL export (0 = off)"),
-		traceTopK: fs.Int("trace-topk", 0, "trace per-request span trees, keeping the slowest K per class (0 = off)"),
+		obsWindow:   fs.Duration("obs-window", 0, "record a windowed time series with this window width (e.g. 1s; 0 = off)"),
+		obsTrace:    fs.Int("obs-trace", 0, "keep the newest N observability events for JSONL export (0 = off)"),
+		traceTopK:   fs.Int("trace-topk", 0, "trace per-request span trees, keeping the slowest K per class (0 = off)"),
+		selfMetrics: fs.Bool("self-metrics", false, "meter the engine itself (events/sec, heap depth, allocations); never changes results"),
 
 		deadline:      fs.Duration("deadline", 0, "gold-class response deadline (e.g. 100ms; 0 = off)"),
 		batchDeadline: fs.Duration("batch-deadline", 0, "batch-class response deadline (0 = use -deadline)"),
@@ -276,6 +278,9 @@ func (b *Binding) Apply(cfg *core.Config) error {
 	}
 	if set["trace-topk"] {
 		cfg.Obs.SpanTopK = *b.traceTopK
+	}
+	if set["self-metrics"] {
+		cfg.SelfMetrics = *b.selfMetrics
 	}
 	return err
 }

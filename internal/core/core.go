@@ -81,6 +81,13 @@ type Config struct {
 	// zero value disables it, leaving every simulation bit-identical;
 	// Obs.Disks is derived per array and ignored here.
 	Obs obs.Config
+
+	// SelfMetrics meters each array's engine (events/sec, heap
+	// high-water, Call free-list traffic, allocation deltas) into
+	// Results.Engine. Pure host-side observation: a metered run executes
+	// the same simulation instructions as an unmetered one and produces
+	// bit-identical results.
+	SelfMetrics bool
 }
 
 // Validate reports configuration errors.
@@ -257,6 +264,11 @@ type Results struct {
 	Arrays int
 	Events uint64
 
+	// Engine aggregates per-array engine self-metrics (Config.SelfMetrics);
+	// zero when metering is off. Wall time is summed across arrays, so
+	// with concurrent array workers it is engine-busy time, not elapsed.
+	Engine sim.MeterStats
+
 	Requests  int64
 	Resp      stats.Summary // response time, ms
 	ReadResp  stats.Summary
@@ -340,12 +352,17 @@ func (r *Results) MeanResponseMS() float64 { return r.Resp.Mean() }
 const drainGrace = 3600 * sim.Second
 
 // runOneArray simulates a single array against its sub-trace and returns
-// its results and the number of events executed.
-func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, error) {
+// its results, the number of events executed, and — when metered — the
+// engine's self-metrics.
+func runOneArray(cfg array.Config, sub *trace.Trace, meter bool) (*array.Results, uint64, sim.MeterStats, error) {
 	eng := sim.New()
+	var m *sim.Meter
+	if meter {
+		m = eng.StartMeter(true)
+	}
 	ctrl, err := array.New(eng, cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, sim.MeterStats{}, err
 	}
 	cap64 := ctrl.DataBlocks()
 	idx := 0
@@ -381,7 +398,7 @@ func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, er
 		eng.RunFor(sim.Second)
 	}
 	if !ctrl.Drained() {
-		return nil, 0, fmt.Errorf("core: array %q did not drain within %ds grace — controller wedged or hopelessly overloaded",
+		return nil, 0, sim.MeterStats{}, fmt.Errorf("core: array %q did not drain within %ds grace — controller wedged or hopelessly overloaded",
 			sub.Name, drainGrace/sim.Second)
 	}
 	// Let an in-flight hot-spare rebuild finish so the results report its
@@ -391,7 +408,11 @@ func runOneArray(cfg array.Config, sub *trace.Trace) (*array.Results, uint64, er
 			eng.RunFor(sim.Second)
 		}
 	}
-	return ctrl.Results(), eng.Steps(), nil
+	var ms sim.MeterStats
+	if m != nil {
+		ms = m.Stop()
+	}
+	return ctrl.Results(), eng.Steps(), ms, nil
 }
 
 // reqSLO resolves a record's SLO class: through the trace's class table
@@ -435,6 +456,7 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Results, err
 	}
 	parts := make([]*array.Results, len(subs))
 	events := make([]uint64, len(subs))
+	meters := make([]sim.MeterStats, len(subs))
 	errs := make([]error, len(subs))
 
 	widths := cfg.groupDisks(len(subs))
@@ -462,7 +484,7 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Results, err
 			}
 			ac := cfg.arrayConfig(g, widths[g], faults[g], sub.Classes)
 			recs[g] = ac.Rec
-			parts[g], events[g], errs[g] = runOneArray(ac, sub)
+			parts[g], events[g], meters[g], errs[g] = runOneArray(ac, sub, cfg.SelfMetrics)
 		}(g, sub)
 	}
 	wg.Wait()
@@ -472,6 +494,9 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Results, err
 		}
 	}
 	out := merge(cfg, parts, events)
+	for _, m := range meters {
+		out.Engine.Add(m)
+	}
 	attachObs(out, recs)
 	return out, nil
 }

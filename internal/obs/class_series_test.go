@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"raidsim/internal/sim"
+)
+
+// TestClassSeriesP95 drives a two-class recorder with a known latency
+// spread and checks the per-class quantiles come from each class's own
+// histogram, within the binning's relative error bound.
+func TestClassSeriesP95(t *testing.T) {
+	r := NewRecorder(Config{Window: sim.Second, Disks: 1, Classes: []string{"oltp", "batch"}})
+	// Class 0: 99 fast + 1 slow — p95 sits in the fast cluster.
+	// Class 1: uniform slow.
+	for i := 0; i < 99; i++ {
+		r.Request(sim.Millisecond, false, 5)
+		r.ClassRequest(sim.Millisecond, 0, 5)
+	}
+	r.Request(sim.Millisecond, false, 500)
+	r.ClassRequest(sim.Millisecond, 0, 500)
+	for i := 0; i < 10; i++ {
+		r.Request(sim.Millisecond, true, 80)
+		r.ClassRequest(sim.Millisecond, 1, 80)
+	}
+	pts := r.Series().Points()
+	if len(pts) != 1 {
+		t.Fatalf("windows %d, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.ClassRequests[0] != 100 || p.ClassRequests[1] != 10 {
+		t.Fatalf("class counts %v", p.ClassRequests)
+	}
+	// Binning error bound: |est/true - 1| <= sqrt(1.08)-1 ≈ 3.9%.
+	if got := p.ClassP95MS[0]; math.Abs(got/5-1) > 0.05 {
+		t.Errorf("class 0 p95 %.3f, want ~5 (fast cluster)", got)
+	}
+	if got := p.ClassP95MS[1]; math.Abs(got/80-1) > 0.05 {
+		t.Errorf("class 1 p95 %.3f, want ~80", got)
+	}
+	// The aggregate p95 differs from both classes' (it straddles the mix),
+	// which is exactly why the per-class column exists.
+	if p.P95MS == p.ClassP95MS[1] && p.P95MS == p.ClassP95MS[0] {
+		t.Errorf("aggregate p95 %.3f indistinguishable from both class p95s", p.P95MS)
+	}
+}
+
+// TestClassSeriesCSVSchema checks the classed CSV carries the v4 schema
+// with a p95 column per class, and that merging preserves per-class
+// histograms (quantiles of merged windows are histogram merges, not
+// averages of quantiles).
+func TestClassSeriesCSVSchema(t *testing.T) {
+	mk := func(ms float64, n int) *Series {
+		r := NewRecorder(Config{Window: sim.Second, Disks: 1, Classes: []string{"oltp"}})
+		for i := 0; i < n; i++ {
+			r.Request(sim.Millisecond, false, ms)
+			r.ClassRequest(sim.Millisecond, 0, ms)
+		}
+		return r.Series()
+	}
+	s := mk(10, 30)
+	s.Merge(mk(100, 70))
+
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "# schema "+SeriesSchemaVersionClasses {
+		t.Errorf("schema line %q, want %q", lines[0], "# schema "+SeriesSchemaVersionClasses)
+	}
+	if !strings.HasSuffix(lines[1], ",oltp_requests,oltp_mean_ms,oltp_p95_ms") {
+		t.Errorf("classed header missing p95 column: %s", lines[1])
+	}
+	// Merged class histogram: 30×10ms + 70×100ms → p95 ≈ 100.
+	p := s.Points()[0]
+	if p.ClassRequests[0] != 100 {
+		t.Fatalf("merged class count %d, want 100", p.ClassRequests[0])
+	}
+	if math.Abs(p.ClassP95MS[0]/100-1) > 0.05 {
+		t.Errorf("merged class p95 %.3f, want ~100", p.ClassP95MS[0])
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFleetLifecycle walks runs through started→finished states and
+// checks every aggregate the registry derives.
+func TestFleetLifecycle(t *testing.T) {
+	l := NewLive()
+	l.SetFleet(4)
+	l.RunStarted("a", "g1", 1, 0)
+	l.RunStarted("b", "g1", 2, 1)
+	l.RunFinished(RunStatus{ID: "a", Group: "g1", State: "done", WallMS: 10, Events: 1000, Requests: 100, MeanMS: 2})
+	l.RunFinished(RunStatus{ID: "b", Group: "g1", State: "done", WallMS: 10, Events: 3000, Requests: 300, MeanMS: 4})
+	l.RunFinished(RunStatus{ID: "c", Group: "g2", State: "resumed", Events: 500, Requests: 50, MeanMS: 1})
+	l.RunStarted("d", "g2", 4, 0)
+	l.RunFinished(RunStatus{ID: "d", Group: "g2", State: "failed", Err: "boom"})
+	l.PublishWorkers([]WorkerStatus{{Worker: 1, Tasks: 1, Steals: 1, BusyNS: 5e6}, {Worker: 0, Tasks: 2, BusyNS: 1e7}})
+
+	f := l.Fleet()
+	if f.Total != 4 || f.Finished != 2 || f.Failed != 1 || f.Resumed != 1 || f.Running != 0 {
+		t.Fatalf("fleet counters: %+v", f)
+	}
+	if f.Done() != 4 {
+		t.Errorf("Done() = %d, want 4", f.Done())
+	}
+	if f.Events != 4500 {
+		t.Errorf("events %d, want 4500 (failed runs excluded)", f.Events)
+	}
+	if f.EngineBusyNS != 2e7 {
+		t.Errorf("busy %d ns, want 2e7", f.EngineBusyNS)
+	}
+	if len(f.Workers) != 2 || f.Workers[0].Worker != 0 || f.Workers[1].Steals != 1 {
+		t.Errorf("workers: %+v", f.Workers)
+	}
+	if len(f.Groups) != 2 || f.Groups[0].Group != "g1" {
+		t.Fatalf("groups: %+v", f.Groups)
+	}
+	// g1 request-weighted mean: (2*100 + 4*300) / 400 = 3.5
+	if g := f.Groups[0]; g.Runs != 2 || g.Requests != 400 || g.MeanMS != 3.5 {
+		t.Errorf("g1 aggregate: %+v", g)
+	}
+
+	runs := l.Runs()
+	if len(runs) != 4 {
+		t.Fatalf("Runs() returned %d entries, want 4", len(runs))
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if runs[i].ID != want {
+			t.Errorf("runs[%d].ID = %q, want %q (sorted)", i, runs[i].ID, want)
+		}
+	}
+	if runs[3].State != "failed" || runs[3].Err != "boom" {
+		t.Errorf("failed run status: %+v", runs[3])
+	}
+	// Finished runs derive events/sec from wall time.
+	if runs[0].EventsPerSec != 1000/(10e-3) {
+		t.Errorf("run a events/sec = %g, want 1e5", runs[0].EventsPerSec)
+	}
+}
+
+// TestFleetConcurrentPublish hammers the registry from many goroutines
+// (the campaign worker-pool shape) while readers render metrics and run
+// lists; run under -race this is the data-race check the fleet registry
+// is specified against.
+func TestFleetConcurrentPublish(t *testing.T) {
+	l := NewLive()
+	const workers, runsPer = 8, 50
+	l.SetFleet(workers * runsPer)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < runsPer; i++ {
+				id := fmt.Sprintf("w%d-r%03d", w, i)
+				l.RunStarted(id, fmt.Sprintf("g%d", i%4), uint64(i), w)
+				l.RunFinished(RunStatus{
+					ID: id, Group: fmt.Sprintf("g%d", i%4), Worker: w,
+					State: "done", WallMS: 1, Events: 100, Requests: 10, MeanMS: 2,
+				})
+				l.PublishWorkers([]WorkerStatus{{Worker: w, Tasks: i + 1}})
+			}
+		}(w)
+	}
+	// Concurrent readers: the HTTP server's view.
+	done := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					l.WriteMetrics(io.Discard)
+					_ = l.Runs()
+					_ = l.Fleet()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	rg.Wait()
+
+	f := l.Fleet()
+	if f.Finished != workers*runsPer {
+		t.Errorf("finished %d, want %d", f.Finished, workers*runsPer)
+	}
+	if f.Events != uint64(workers*runsPer*100) {
+		t.Errorf("events %d, want %d", f.Events, workers*runsPer*100)
+	}
+	if len(l.Runs()) != workers*runsPer {
+		t.Errorf("tracked %d runs, want %d", len(l.Runs()), workers*runsPer)
+	}
+}
+
+// TestFleetMetricsAndRuns checks the HTTP surface: fleet families appear
+// in /metrics only once fleet traffic exists, and /runs serves JSON.
+func TestFleetMetricsAndRuns(t *testing.T) {
+	l := NewLive()
+	var b strings.Builder
+	l.WriteMetrics(&b)
+	if strings.Contains(b.String(), "raidsim_fleet_") {
+		t.Errorf("fleet families rendered with no fleet traffic:\n%s", b.String())
+	}
+
+	l.SetFleet(2)
+	l.RunFinished(RunStatus{ID: "x", Group: "n=5", State: "done", WallMS: 5, Events: 200, Requests: 20, MeanMS: 7})
+	l.PublishWorkers([]WorkerStatus{{Worker: 0, Tasks: 1, BusyNS: 5e6}})
+	b.Reset()
+	l.WriteMetrics(&b)
+	for _, want := range []string{
+		"raidsim_fleet_runs_total{state=\"done\"} 1",
+		"raidsim_fleet_runs_planned 2",
+		"raidsim_fleet_events_total 200",
+		"raidsim_fleet_worker_tasks_total{worker=\"0\"} 1",
+		"raidsim_group_requests_total{group=\"n=5\"} 20",
+		"raidsim_group_response_ms{group=\"n=5\",stat=\"mean\"} 7",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, b.String())
+		}
+	}
+
+	srv, err := Serve("127.0.0.1:0", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/runs content type %q", ct)
+	}
+	for _, want := range []string{`"id": "x"`, `"state": "done"`, `"total": 2`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/runs missing %q:\n%s", want, body)
+		}
+	}
+}

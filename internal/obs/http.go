@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -18,8 +19,8 @@ type Server struct {
 }
 
 // Serve binds addr (host:port; ":0" picks a free port) and serves
-// /metrics, /healthz, and /debug/pprof/ from the Live registry until
-// Close.
+// /metrics, /runs, /healthz, and /debug/pprof/ from the Live registry
+// until Close.
 func Serve(addr string, live *Live) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -33,6 +34,15 @@ func Serve(addr string, live *Live) (*Server, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Fleet FleetStatus `json:"fleet"`
+			Runs  []RunStatus `json:"runs"`
+		}{live.Fleet(), live.Runs()})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -43,7 +53,7 @@ func Serve(addr string, live *Live) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "raidsim introspection\n\n/metrics\n/healthz\n/debug/pprof/\n")
+		fmt.Fprint(w, "raidsim introspection\n\n/metrics\n/runs\n/healthz\n/debug/pprof/\n")
 	})
 	s := &Server{
 		Addr: ln.Addr().String(),

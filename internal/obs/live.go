@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ArraySnapshot is one array's state as of its latest sampler tick, the
@@ -30,10 +31,25 @@ type ArraySnapshot struct {
 
 // Live is the thread-safe registry the introspection HTTP server reads:
 // each array's recorder publishes a snapshot on its sampler tick, from its
-// own simulation goroutine, while the server goroutine renders them.
+// own simulation goroutine, while the server goroutine renders them. A
+// campaign additionally publishes fleet-wide state (run lifecycle, worker
+// occupancy, aggregate engine throughput) through the methods in fleet.go.
 type Live struct {
 	mu     sync.Mutex
 	arrays map[int]ArraySnapshot
+
+	// Fleet state (fleet.go). Armed by SetFleet; zero until then.
+	fleetTotal int
+	fleetStart time.Time
+	runs       map[string]RunStatus
+	workers    []WorkerStatus
+	started    int
+	finished   int
+	failed     int
+	resumed    int
+	events     uint64
+	busyNS     int64
+	groups     map[string]*groupAgg
 }
 
 // NewLive returns an empty registry.
@@ -132,4 +148,5 @@ func (l *Live) WriteMetrics(w io.Writer) {
 			f.rows(w, s)
 		}
 	}
+	l.writeFleetMetrics(w)
 }

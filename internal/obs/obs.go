@@ -84,10 +84,12 @@ type window struct {
 	hedgeWins int64
 	shed      int64
 
-	// Per-client-class completions and summed response ms; nil on
-	// classless recorders (and on growth windows until first touched).
-	clsN  []int64
-	clsMS []float64
+	// Per-client-class completions, summed response ms, and response
+	// histograms (for per-class quantiles); nil on classless recorders
+	// (and on growth windows until first touched).
+	clsN    []int64
+	clsMS   []float64
+	clsHist []Histogram
 }
 
 // Recorder folds probe emissions into time windows. It is single-
@@ -198,9 +200,11 @@ func (r *Recorder) ClassRequest(at sim.Time, class int, ms float64) {
 	if len(w.clsN) < len(r.cfg.Classes) {
 		w.clsN = make([]int64, len(r.cfg.Classes))
 		w.clsMS = make([]float64, len(r.cfg.Classes))
+		w.clsHist = make([]Histogram, len(r.cfg.Classes))
 	}
 	w.clsN[class]++
 	w.clsMS[class] += ms
+	w.clsHist[class].Add(ms)
 }
 
 // Timeout records a request that completed past its deadline: class,
@@ -451,6 +455,7 @@ func (r *Recorder) Series() *Series {
 		cp.busy = append([]sim.Time(nil), w.busy...)
 		cp.clsN = append([]int64(nil), w.clsN...)
 		cp.clsMS = append([]float64(nil), w.clsMS...)
+		cp.clsHist = append([]Histogram(nil), w.clsHist...)
 		s.wins[i] = &cp
 	}
 	return s

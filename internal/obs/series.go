@@ -54,10 +54,12 @@ type Point struct {
 	HedgeWins int64 // hedge legs that beat the primary
 	Shed      int64 // requests rejected by admission control
 
-	// Per-class completions and mean response, indexed like
-	// Series.Classes; nil on classless series.
+	// Per-class completions, mean and p95 response (from the per-class
+	// log-bucketed histograms), indexed like Series.Classes; nil on
+	// classless series.
 	ClassRequests []int64
 	ClassMeanMS   []float64
+	ClassP95MS    []float64
 }
 
 // Len returns the number of windows.
@@ -112,10 +114,14 @@ func (s *Series) Merge(o *Series) {
 			if len(w.clsN) < len(ow.clsN) {
 				w.clsN = append(w.clsN, make([]int64, len(ow.clsN)-len(w.clsN))...)
 				w.clsMS = append(w.clsMS, make([]float64, len(ow.clsMS)-len(w.clsMS))...)
+				w.clsHist = append(w.clsHist, make([]Histogram, len(ow.clsHist)-len(w.clsHist))...)
 			}
 			for j := range ow.clsN {
 				w.clsN[j] += ow.clsN[j]
 				w.clsMS[j] += ow.clsMS[j]
+			}
+			for j := range ow.clsHist {
+				w.clsHist[j].Merge(&ow.clsHist[j])
 			}
 		}
 	}
@@ -155,11 +161,15 @@ func (s *Series) Points() []Point {
 		if n := len(s.Classes); n > 0 {
 			p.ClassRequests = make([]int64, n)
 			p.ClassMeanMS = make([]float64, n)
+			p.ClassP95MS = make([]float64, n)
 			for j := 0; j < n && j < len(w.clsN); j++ {
 				p.ClassRequests[j] = w.clsN[j]
 				if w.clsN[j] > 0 {
 					p.ClassMeanMS[j] = w.clsMS[j] / float64(w.clsN[j])
 				}
+			}
+			for j := 0; j < n && j < len(w.clsHist); j++ {
+				p.ClassP95MS[j] = w.clsHist[j].Quantile(0.95)
 			}
 		}
 		if span > 0 {
@@ -203,9 +213,11 @@ var csvHeader = []string{
 const SeriesSchemaVersion = "raidsim-series/2"
 
 // SeriesSchemaVersionClasses is the schema when per-class columns are
-// present (two trailing columns per workload client class). Classless
-// series keep emitting version 2 byte-for-byte.
-const SeriesSchemaVersionClasses = "raidsim-series/3"
+// present (three trailing columns per workload client class: requests,
+// mean, p95). Classless series keep emitting version 2 byte-for-byte.
+// Version 4 added the per-class p95 column (version 3 had requests and
+// mean only).
+const SeriesSchemaVersionClasses = "raidsim-series/4"
 
 // colName flattens a class name into a CSV column stem.
 func colName(s string) string {
@@ -227,7 +239,7 @@ func (s *Series) WriteCSV(w io.Writer) error {
 		schema = SeriesSchemaVersionClasses
 		header = append([]string(nil), csvHeader...)
 		for _, c := range s.Classes {
-			header = append(header, colName(c)+"_requests", colName(c)+"_mean_ms")
+			header = append(header, colName(c)+"_requests", colName(c)+"_mean_ms", colName(c)+"_p95_ms")
 		}
 	}
 	if _, err := fmt.Fprintf(w, "# schema %s\n", schema); err != nil {
@@ -248,7 +260,7 @@ func (s *Series) WriteCSV(w io.Writer) error {
 			return err
 		}
 		for j := range s.Classes {
-			if _, err := fmt.Fprintf(w, ",%d,%.3f", p.ClassRequests[j], p.ClassMeanMS[j]); err != nil {
+			if _, err := fmt.Fprintf(w, ",%d,%.3f,%.3f", p.ClassRequests[j], p.ClassMeanMS[j], p.ClassP95MS[j]); err != nil {
 				return err
 			}
 		}

@@ -40,16 +40,16 @@ func ClassTable(title string, classes []array.ClassResults) *Table {
 }
 
 // ClassSeriesTable renders the per-class time series side by side — one
-// row per window, per class its completions and mean response — the view
-// that makes a diurnal workload's shifting mix visible. Returns nil when
-// the series is absent or classless.
+// row per window, per class its completions, mean and p95 response — the
+// view that makes a diurnal workload's shifting mix (and its tail) visible.
+// Returns nil when the series is absent or classless.
 func ClassSeriesTable(title string, s *obs.Series) *Table {
 	if s == nil || len(s.Classes) == 0 {
 		return nil
 	}
 	cols := []string{"t(s)"}
 	for _, c := range s.Classes {
-		cols = append(cols, c+" req", c+" ms")
+		cols = append(cols, c+" req", c+" ms", c+" p95")
 	}
 	t := &Table{Title: title, Columns: cols}
 	for _, p := range s.Points() {
@@ -57,7 +57,8 @@ func ClassSeriesTable(title string, s *obs.Series) *Table {
 		for j := range s.Classes {
 			row = append(row,
 				fmt.Sprintf("%d", p.ClassRequests[j]),
-				fmt.Sprintf("%.2f", p.ClassMeanMS[j]))
+				fmt.Sprintf("%.2f", p.ClassMeanMS[j]),
+				fmt.Sprintf("%.2f", p.ClassP95MS[j]))
 		}
 		t.AddRow(row...)
 	}

@@ -71,6 +71,15 @@ type Engine struct {
 	events []event // 4-ary min-heap ordered by (at, seq)
 	steps  uint64
 	free   *Call // recycled Call payloads
+
+	// Self-metric counters, maintained unconditionally (a compare and two
+	// increments on paths that already cost hundreds of ns per event) and
+	// read back through Meter. Pure observation: they schedule nothing
+	// and consume no randomness, so results are bit-identical whether or
+	// not anyone ever looks at them.
+	heapHW     int    // high-water mark of the pending-event heap
+	callHits   uint64 // Calls served from the free list
+	callMisses uint64 // Calls that forced a fresh chunk allocation
 }
 
 // New returns an Engine with the clock at zero and no pending events.
@@ -212,6 +221,9 @@ func (a *event) before(b *event) bool {
 // push inserts ev, sifting the hole up from the tail.
 func (e *Engine) push(ev event) {
 	h := append(e.events, ev)
+	if len(h) > e.heapHW {
+		e.heapHW = len(h)
+	}
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -280,6 +292,9 @@ func (e *Engine) acquireCall() *Call {
 			chunk[i].next = &chunk[i+1]
 		}
 		c = &chunk[0]
+		e.callMisses++
+	} else {
+		e.callHits++
 	}
 	e.free = c.next
 	c.next = nil
