@@ -36,6 +36,7 @@ func main() {
 		out       = flag.String("out", "", "JSONL journal path; completed runs are appended and a restart resumes (empty = run in memory)")
 		fresh     = flag.Bool("fresh", false, "discard an existing journal instead of resuming from it")
 		workers   = flag.Int("workers", 0, "worker-pool width (0 = spec's workers, then GOMAXPROCS); never changes results")
+		shards    = flag.Int("shards", 0, "per-run engine shards: each run's arrays execute on this many persistent engines (0 = one throwaway engine per array); never changes results")
 		csv       = flag.Bool("csv", false, "render tables as CSV")
 		aSel      = flag.String("a", "", "comparison baseline selector, e.g. org=raid5 (with -b)")
 		bSel      = flag.String("b", "", "comparison candidate selector, e.g. org=mirror (with -a)")
@@ -67,7 +68,7 @@ func main() {
 	// The fleet registry is always armed: the progress line reads it for
 	// ETA and throughput even when no HTTP server is serving it.
 	live := obs.NewLive()
-	opts := campaign.Options{Workers: *workers, Live: live, SelfMetrics: *selfMetrics}
+	opts := campaign.Options{Workers: *workers, Shards: *shards, Live: live, SelfMetrics: *selfMetrics}
 	if opts.Workers == 0 {
 		opts.Workers = spec.Workers
 	}
@@ -201,17 +202,22 @@ func main() {
 }
 
 // progressSuffix annotates the per-run progress line with the fleet
-// registry's live view: aggregate engine events/sec, and an ETA
-// extrapolated from the fresh-execution rate (journal replays finish
-// instantly, so they shorten the remaining count without feeding the
-// rate).
+// registry's live view: engine events/sec and an ETA, both computed
+// purely from fresh executions. Journal replays finish in microseconds
+// before execution starts, so folding them into either basis is the
+// classic resume bug: replayed events over replay time print absurd
+// ev/s, and an elapsed clock that started before the replay pass
+// inflates the per-run estimate the ETA extrapolates. FreshEvents /
+// ExecElapsedSec (measured from the first fresh run) and the fresh-only
+// remaining count (total - done counts only never-run points — replays
+// complete before any fresh run finishes) keep both honest.
 func progressSuffix(f obs.FleetStatus, done, total int) string {
-	if f.Finished == 0 || f.ElapsedSec <= 0 {
+	if f.Finished == 0 || f.ExecElapsedSec <= 0 {
 		return ""
 	}
-	s := fmt.Sprintf(" — %.0f ev/s", f.EventsPerSec)
+	s := fmt.Sprintf(" — %.0f ev/s", f.FreshEventsPerSec)
 	if rem := total - done; rem > 0 {
-		s += fmt.Sprintf(", eta %.0fs", f.ElapsedSec/float64(f.Finished)*float64(rem))
+		s += fmt.Sprintf(", eta %.0fs", f.ExecElapsedSec/float64(f.Finished)*float64(rem))
 	}
 	return s
 }
@@ -233,6 +239,9 @@ func fleetStats(o *campaign.Outcome, runs int) report.FleetStats {
 		f.Workers = append(f.Workers, report.WorkerRow{
 			Worker: w.Worker, Tasks: w.Tasks, Steals: w.Steals, BusyNS: int64(w.Busy),
 		})
+	}
+	for s, m := range o.EngineShards {
+		f.Shards = append(f.Shards, report.ShardRow{Shard: s, Events: m.Events, BusyNS: m.WallNS})
 	}
 	return f
 }

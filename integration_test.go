@@ -377,6 +377,113 @@ func TestSelfMetricsEquivalence(t *testing.T) {
 	}
 }
 
+// TestShardInvariance re-runs the whole equivalence matrix under the
+// sharded intra-run execution model (Config.Shards: persistent per-shard
+// engines, Reset between arrays, round-robin array assignment) at shard
+// counts 1, 2 and 4 and demands the same golden fingerprints bit for
+// bit. Shards=1 exercises one engine sequentially reused across every
+// array; 2 matches the matrix's array count; 4 exercises the
+// shards-beyond-arrays clamp. Any drift means engine reuse leaked state
+// between arrays — the one thing Reset's determinism argument forbids.
+func TestShardInvariance(t *testing.T) {
+	p := smallProfile()
+	p.Requests = 4000
+	p.Duration = 240 * sim.Second
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, tc := range equivalenceCases {
+			cfg := core.Config{
+				Org: tc.org, DataDisks: 10, N: 5,
+				Spec: geom.Default(), Sync: tc.sync,
+				Cached: tc.cached, CacheMB: 8, Seed: 9,
+				Placement: layout.EndPlacement,
+				Shards:    shards,
+			}
+			if tc.faulted {
+				cfg.Spares = 1
+				cfg.Fault = fault.Config{
+					DiskFails: []fault.DiskFail{{Disk: 1, At: 30 * sim.Second}},
+				}
+				if tc.cached {
+					cfg.Fault.CacheFailAt = 60 * sim.Second
+				}
+			}
+			res, err := core.Run(cfg, tr)
+			if err != nil {
+				t.Fatalf("%s/shards=%d: %v", tc.name, shards, err)
+			}
+			want, ok := equivalenceGolden[tc.name]
+			if !ok {
+				continue
+			}
+			if got := fingerprint(res); got != want {
+				t.Errorf("%s/shards=%d: sharded execution changed the simulation\n got: %s\nwant: %s",
+					tc.name, shards, got, want)
+			}
+			wantShards := shards
+			if a := cfg.Arrays(); wantShards > a {
+				wantShards = a
+			}
+			if len(res.EngineShards) != wantShards {
+				t.Errorf("%s/shards=%d: %d shard meters, want %d", tc.name, shards, len(res.EngineShards), wantShards)
+			}
+		}
+	}
+}
+
+// TestShardMeterSums is the property side of shard invariance: on a
+// system with more arrays than shards, the per-shard meters must
+// partition the run exactly — per-shard events sum to the run's event
+// total (shard engines execute nothing but their arrays' events), the
+// aggregate meter equals that sum, and the results match the unsharded
+// run bit for bit.
+func TestShardMeterSums(t *testing.T) {
+	p := smallProfile()
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Config{
+		Org: array.OrgRAID5, DataDisks: 10, N: 2,
+		Spec: geom.Default(), Sync: array.DF, Seed: 11,
+	}
+	plain, err := core.Run(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 3 // 5 arrays over 3 shards: strides {0,3}, {1,4}, {2}
+	res, err := core.Run(sharded, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprint(res), fingerprint(plain); got != want {
+		t.Errorf("sharded run drifted from the per-array run\n got: %s\nwant: %s", got, want)
+	}
+	if len(res.EngineShards) != 3 {
+		t.Fatalf("%d shard meters, want 3", len(res.EngineShards))
+	}
+	var sum uint64
+	for s, m := range res.EngineShards {
+		if m.Events == 0 {
+			t.Errorf("shard %d metered no events", s)
+		}
+		if m.WallNS <= 0 {
+			t.Errorf("shard %d wall %d", s, m.WallNS)
+		}
+		sum += m.Events
+	}
+	if sum != res.Events {
+		t.Errorf("per-shard events sum to %d, run executed %d", sum, res.Events)
+	}
+	if res.Engine.Events != sum {
+		t.Errorf("aggregate meter has %d events, shard sum is %d", res.Engine.Events, sum)
+	}
+}
+
 // TestSpanExportPerfetto runs a cached RAID5 with a mid-run disk failure
 // and a hot spare, tracer armed, and checks the Chrome trace-event export
 // is valid JSON carrying the spans the issue calls out: parity RMW legs

@@ -122,42 +122,48 @@ func (l *RunLog) Close() error {
 	return l.f.Close()
 }
 
-// ReadRunLog parses a run log file, returning the campaign name and
-// every entry. Unlike the journal loader it is strict: a torn or foreign
-// line is an error, because the log was written in one piece by the
-// execution that just finished.
-func ReadRunLog(path string) (string, []RunLogEntry, error) {
+// ReadRunLog parses a run log file, returning the campaign name, every
+// complete entry, and the count of torn lines it skipped. Like the
+// journal loader it tolerates a torn tail: the writer flushes line-at-a-
+// time, so a process killed mid-append leaves at most a partial final
+// line, and everything before it is intact telemetry worth salvaging.
+// Torn (or foreign) lines are counted rather than erroring; callers that
+// care — post-mortem tooling inspecting a crashed campaign — surface the
+// count as a warning. A bad header is still an error: with no valid
+// header the file is not a run log at all.
+func ReadRunLog(path string) (string, []RunLogEntry, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	if !sc.Scan() {
-		return "", nil, fmt.Errorf("campaign: run log %s: missing header", path)
+		return "", nil, 0, fmt.Errorf("campaign: run log %s: missing header", path)
 	}
 	var hdr runLogHeader
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return "", nil, fmt.Errorf("campaign: run log %s: bad header: %w", path, err)
+		return "", nil, 0, fmt.Errorf("campaign: run log %s: bad header: %w", path, err)
 	}
 	if hdr.Schema != RunLogSchemaVersion {
-		return "", nil, fmt.Errorf("campaign: run log %s has schema %q, want %q", path, hdr.Schema, RunLogSchemaVersion)
+		return "", nil, 0, fmt.Errorf("campaign: run log %s has schema %q, want %q", path, hdr.Schema, RunLogSchemaVersion)
 	}
 	var entries []RunLogEntry
+	torn := 0
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var e RunLogEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			return "", nil, fmt.Errorf("campaign: run log %s: bad entry: %w", path, err)
-		}
-		if e.ID == "" {
-			return "", nil, fmt.Errorf("campaign: run log %s: entry with empty ID", path)
+		if err := json.Unmarshal(line, &e); err != nil || e.ID == "" {
+			// Torn tail from a crash mid-append (or a foreign line):
+			// salvage everything parseable and report the damage.
+			torn++
+			continue
 		}
 		entries = append(entries, e)
 	}
-	return hdr.Name, entries, sc.Err()
+	return hdr.Name, entries, torn, sc.Err()
 }

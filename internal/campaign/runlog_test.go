@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeRunLog writes a header plus n entries and returns the path.
+func writeRunLog(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "runlog.jsonl")
+	rl, err := OpenRunLog(path, "torn-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := rl.Append(RunLogEntry{
+			ID: string(rune('a' + i)), Seed: uint64(i + 1), Worker: i % 2,
+			Outcome: "executed", WallMS: 1.5, Events: 1000, Requests: 100, MeanMS: 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReadRunLogTornTail is the crash-recovery round trip: a process
+// killed mid-append leaves a partial final line, and the reader must
+// salvage every complete record and report the tear instead of refusing
+// the whole file (the pre-fix behavior).
+func TestReadRunLogTornTail(t *testing.T) {
+	path := writeRunLog(t, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-way through the last record: strip the trailing
+	// newline plus a dozen bytes of the final JSON object.
+	if err := os.WriteFile(path, raw[:len(raw)-13], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	name, entries, torn, err := ReadRunLog(path)
+	if err != nil {
+		t.Fatalf("torn tail must not fail the read: %v", err)
+	}
+	if name != "torn-test" {
+		t.Errorf("name %q, want torn-test", name)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("salvaged %d entries, want 2: %+v", len(entries), entries)
+	}
+	if entries[0].ID != "a" || entries[1].ID != "b" {
+		t.Errorf("salvaged wrong entries: %+v", entries)
+	}
+	if torn != 1 {
+		t.Errorf("torn = %d, want 1", torn)
+	}
+	// The salvage still summarizes.
+	if tot := SummarizeRunLog(entries); tot.Executed != 2 || tot.Events != 2000 {
+		t.Errorf("salvaged totals: %+v", tot)
+	}
+}
+
+// TestReadRunLogClean pins the no-damage path: a cleanly closed log
+// reads back whole with zero torn lines.
+func TestReadRunLogClean(t *testing.T) {
+	path := writeRunLog(t, 3)
+	name, entries, torn, err := ReadRunLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "torn-test" || len(entries) != 3 || torn != 0 {
+		t.Errorf("clean read: name=%q entries=%d torn=%d", name, len(entries), torn)
+	}
+}
+
+// TestReadRunLogBadHeader: tolerance does not extend to the header —
+// without one the file is not a run log.
+func TestReadRunLogBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus.jsonl")
+	if err := os.WriteFile(path, []byte("{\"schema\":\"other/9\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadRunLog(path); err == nil {
+		t.Fatal("wrong-schema header must error")
+	}
+}

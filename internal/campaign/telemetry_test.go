@@ -80,9 +80,12 @@ func TestExecuteTelemetry(t *testing.T) {
 	}
 
 	// Run log replays to the same fleet totals as the journal.
-	name, entries, err := ReadRunLog(rlPath)
+	name, entries, torn, err := ReadRunLog(rlPath)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Errorf("clean run log reports %d torn lines", torn)
 	}
 	if name != s.Name {
 		t.Errorf("run log names campaign %q, want %q", name, s.Name)
@@ -128,7 +131,7 @@ func TestExecuteTelemetry(t *testing.T) {
 	if out2.Executed != 0 || out2.Skipped != len(points) {
 		t.Fatalf("resume executed %d, skipped %d", out2.Executed, out2.Skipped)
 	}
-	if _, entries2, err := ReadRunLog(rlPath); err != nil {
+	if _, entries2, _, err := ReadRunLog(rlPath); err != nil {
 		t.Fatal(err)
 	} else {
 		tot2 := SummarizeRunLog(entries2)

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"raidsim/internal/sim"
 )
 
 // RunStatus is one campaign run's lifecycle state as the fleet registry
@@ -36,6 +38,16 @@ type WorkerStatus struct {
 	Tasks  int   `json:"tasks"`
 	Steals int   `json:"steals"`
 	BusyNS int64 `json:"busy_ns"`
+}
+
+// ShardStatus is one intra-run engine shard's meter totals, accumulated
+// element-wise across a campaign's executed runs (shard s of every run
+// folds into element s). Campaigns running with core.Config.Shards = 0
+// publish none.
+type ShardStatus struct {
+	Shard  int    `json:"shard"`
+	Events uint64 `json:"events"`
+	BusyNS int64  `json:"busy_ns"` // host time the shard's engine was metered over
 }
 
 // GroupAggregate is the fleet registry's running response-time aggregate
@@ -70,7 +82,18 @@ type FleetStatus struct {
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	EngineBusyNS int64   `json:"engine_busy_ns"`
 
+	// FreshEvents counts only events from freshly executed runs (journal
+	// replays fold their recorded events into Events without simulating
+	// anything); ExecElapsedSec is wall time since the first fresh run
+	// started. FreshEventsPerSec = FreshEvents / ExecElapsedSec is the
+	// honest live throughput on a resumed campaign — replayed events over
+	// replay microseconds would report absurd rates.
+	FreshEvents       uint64  `json:"fresh_events"`
+	FreshEventsPerSec float64 `json:"fresh_events_per_sec"`
+	ExecElapsedSec    float64 `json:"exec_elapsed_sec"`
+
 	Workers []WorkerStatus   `json:"workers,omitempty"`
+	Shards  []ShardStatus    `json:"shards,omitempty"`
 	Groups  []GroupAggregate `json:"groups,omitempty"`
 }
 
@@ -87,10 +110,12 @@ func (l *Live) SetFleet(total int) {
 	l.mu.Lock()
 	l.fleetTotal = total
 	l.fleetStart = time.Now()
+	l.execStart = time.Time{}
 	l.runs = make(map[string]RunStatus, total)
 	l.workers = nil
+	l.shards = nil
 	l.started, l.finished, l.failed, l.resumed = 0, 0, 0, 0
-	l.events, l.busyNS = 0, 0
+	l.events, l.freshEvents, l.busyNS = 0, 0, 0
 	l.groups = map[string]*groupAgg{}
 	l.mu.Unlock()
 }
@@ -102,6 +127,9 @@ func (l *Live) RunStarted(id, group string, seed uint64, worker int) {
 	}
 	l.mu.Lock()
 	l.ensureFleet()
+	if l.execStart.IsZero() {
+		l.execStart = time.Now()
+	}
 	l.started++
 	l.runs[id] = RunStatus{ID: id, Group: group, Seed: seed, Worker: worker, State: "running"}
 	l.mu.Unlock()
@@ -131,6 +159,9 @@ func (l *Live) RunFinished(st RunStatus) {
 	}
 	if st.State == "done" || st.State == "resumed" {
 		l.events += st.Events
+		if st.State == "done" {
+			l.freshEvents += st.Events
+		}
 		l.busyNS += int64(st.WallMS * 1e6)
 		g := l.groups[st.Group]
 		if g == nil {
@@ -140,6 +171,25 @@ func (l *Live) RunFinished(st RunStatus) {
 		g.runs++
 		g.requests += st.Requests
 		g.sumMS += st.MeanMS * float64(st.Requests)
+	}
+	l.mu.Unlock()
+}
+
+// AddShards folds one run's per-shard engine meters into the fleet's
+// cumulative per-shard totals (element-wise on the shard index). Meters
+// beyond the current shard count grow the slice; a nil or empty slice
+// is a no-op, so unsharded campaigns never publish the family.
+func (l *Live) AddShards(ms []sim.MeterStats) {
+	if l == nil || len(ms) == 0 {
+		return
+	}
+	l.mu.Lock()
+	for s, m := range ms {
+		for s >= len(l.shards) {
+			l.shards = append(l.shards, ShardStatus{Shard: len(l.shards)})
+		}
+		l.shards[s].Events += m.Events
+		l.shards[s].BusyNS += m.WallNS
 	}
 	l.mu.Unlock()
 }
@@ -196,8 +246,10 @@ func (l *Live) Fleet() FleetStatus {
 		Failed:       l.failed,
 		Resumed:      l.resumed,
 		Events:       l.events,
+		FreshEvents:  l.freshEvents,
 		EngineBusyNS: l.busyNS,
 		Workers:      append([]WorkerStatus(nil), l.workers...),
+		Shards:       append([]ShardStatus(nil), l.shards...),
 	}
 	if f.Running < 0 {
 		f.Running = 0
@@ -207,6 +259,12 @@ func (l *Live) Fleet() FleetStatus {
 	}
 	if f.ElapsedSec > 0 {
 		f.EventsPerSec = float64(f.Events) / f.ElapsedSec
+	}
+	if !l.execStart.IsZero() {
+		f.ExecElapsedSec = time.Since(l.execStart).Seconds()
+	}
+	if f.ExecElapsedSec > 0 {
+		f.FreshEventsPerSec = float64(f.FreshEvents) / f.ExecElapsedSec
 	}
 	for name, g := range l.groups {
 		ga := GroupAggregate{Group: name, Runs: g.runs, Requests: g.requests}
@@ -257,6 +315,16 @@ func (l *Live) writeFleetMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP raidsim_fleet_worker_busy_seconds Host time per worker spent inside run functions.\n# TYPE raidsim_fleet_worker_busy_seconds counter\n")
 		for _, ws := range f.Workers {
 			fmt.Fprintf(w, "raidsim_fleet_worker_busy_seconds{worker=\"%d\"} %g\n", ws.Worker, float64(ws.BusyNS)/1e9)
+		}
+	}
+	if len(f.Shards) > 0 {
+		fmt.Fprintf(w, "# HELP raidsim_fleet_shard_events_total Engine events executed per intra-run engine shard, summed over runs.\n# TYPE raidsim_fleet_shard_events_total counter\n")
+		for _, sh := range f.Shards {
+			fmt.Fprintf(w, "raidsim_fleet_shard_events_total{shard=\"%d\"} %d\n", sh.Shard, sh.Events)
+		}
+		fmt.Fprintf(w, "# HELP raidsim_fleet_shard_busy_seconds Host time each intra-run engine shard was metered over, summed over runs.\n# TYPE raidsim_fleet_shard_busy_seconds counter\n")
+		for _, sh := range f.Shards {
+			fmt.Fprintf(w, "raidsim_fleet_shard_busy_seconds{shard=\"%d\"} %g\n", sh.Shard, float64(sh.BusyNS)/1e9)
 		}
 	}
 	if len(f.Groups) > 0 {

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"raidsim/internal/sim"
 )
 
 // TestFleetLifecycle walks runs through started→finished states and
@@ -62,6 +64,73 @@ func TestFleetLifecycle(t *testing.T) {
 	// Finished runs derive events/sec from wall time.
 	if runs[0].EventsPerSec != 1000/(10e-3) {
 		t.Errorf("run a events/sec = %g, want 1e5", runs[0].EventsPerSec)
+	}
+}
+
+// TestFleetFreshAccounting pins the resume-honest split the progress
+// line depends on: journal replays fold into the total event counter but
+// never into the fresh counters, and the fresh rate clock starts at the
+// first RunStarted (after the replay pass), not at SetFleet.
+func TestFleetFreshAccounting(t *testing.T) {
+	l := NewLive()
+	l.SetFleet(3)
+	// Replay pass: two resumed runs, no RunStarted.
+	l.RunFinished(RunStatus{ID: "r1", Group: "g", State: "resumed", Events: 500_000, Requests: 50})
+	l.RunFinished(RunStatus{ID: "r2", Group: "g", State: "resumed", Events: 500_000, Requests: 50})
+	f := l.Fleet()
+	if f.FreshEvents != 0 || f.FreshEventsPerSec != 0 || f.ExecElapsedSec != 0 {
+		t.Fatalf("replays leaked into fresh accounting: %+v", f)
+	}
+	if f.Events != 1_000_000 {
+		t.Errorf("replayed events %d, want 1000000 in the journal-inclusive total", f.Events)
+	}
+	// One fresh execution.
+	l.RunStarted("x", "g", 1, 0)
+	l.RunFinished(RunStatus{ID: "x", Group: "g", State: "done", WallMS: 2, Events: 700, Requests: 10})
+	f = l.Fleet()
+	if f.FreshEvents != 700 {
+		t.Errorf("fresh events %d, want 700", f.FreshEvents)
+	}
+	if f.ExecElapsedSec <= 0 {
+		t.Errorf("exec clock never started: %+v", f)
+	}
+	if f.FreshEventsPerSec > 1e9 {
+		t.Errorf("fresh rate %g absurd: replayed events must not feed it", f.FreshEventsPerSec)
+	}
+}
+
+// TestFleetShardAccounting: AddShards accumulates element-wise across
+// runs, grows on demand, ignores empty slices, and surfaces both in
+// Fleet() and as the raidsim_fleet_shard_* metric families.
+func TestFleetShardAccounting(t *testing.T) {
+	l := NewLive()
+	l.SetFleet(2)
+	l.AddShards(nil)
+	if f := l.Fleet(); len(f.Shards) != 0 {
+		t.Fatalf("nil AddShards published shards: %+v", f.Shards)
+	}
+	l.AddShards([]sim.MeterStats{{Events: 100, WallNS: 1e6}, {Events: 200, WallNS: 2e6}})
+	l.AddShards([]sim.MeterStats{{Events: 50, WallNS: 1e6}, {Events: 60, WallNS: 1e6}, {Events: 70, WallNS: 3e6}})
+	f := l.Fleet()
+	if len(f.Shards) != 3 {
+		t.Fatalf("shards: %+v", f.Shards)
+	}
+	want := []ShardStatus{{0, 150, 2e6}, {1, 260, 3e6}, {2, 70, 3e6}}
+	for i, w := range want {
+		if f.Shards[i] != w {
+			t.Errorf("shard %d = %+v, want %+v", i, f.Shards[i], w)
+		}
+	}
+	var b strings.Builder
+	l.WriteMetrics(&b)
+	for _, wantLine := range []string{
+		`raidsim_fleet_shard_events_total{shard="0"} 150`,
+		`raidsim_fleet_shard_events_total{shard="2"} 70`,
+		`raidsim_fleet_shard_busy_seconds{shard="1"} 0.003`,
+	} {
+		if !strings.Contains(b.String(), wantLine) {
+			t.Errorf("metrics missing %q:\n%s", wantLine, b.String())
+		}
 	}
 }
 

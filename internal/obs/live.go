@@ -41,15 +41,21 @@ type Live struct {
 	// Fleet state (fleet.go). Armed by SetFleet; zero until then.
 	fleetTotal int
 	fleetStart time.Time
-	runs       map[string]RunStatus
-	workers    []WorkerStatus
-	started    int
-	finished   int
-	failed     int
-	resumed    int
-	events     uint64
-	busyNS     int64
-	groups     map[string]*groupAgg
+	// execStart is when the first fresh run started: journal replays
+	// finish in microseconds before execution begins, so rates and ETAs
+	// extrapolated from fresh runs measure from here, not fleetStart.
+	execStart   time.Time
+	runs        map[string]RunStatus
+	workers     []WorkerStatus
+	shards      []ShardStatus
+	started     int
+	finished    int
+	failed      int
+	resumed     int
+	events      uint64
+	freshEvents uint64
+	busyNS      int64
+	groups      map[string]*groupAgg
 }
 
 // NewLive returns an empty registry.

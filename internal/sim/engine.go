@@ -90,6 +90,31 @@ func New() *Engine {
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
+// Reset returns the engine to the observable state of a fresh New():
+// clock at zero, sequence counter at zero, no pending events. The heap
+// slab and the Call free list are kept — pending Call payloads are
+// recycled into the free list — so a shard running many simulations
+// back to back schedules without reallocating. The cumulative
+// self-metric counters (steps, heap high-water, free-list hits) carry
+// across the reset; per-simulation figures come from deltas (Steps
+// before/after, or a Meter spanning the interval).
+//
+// Determinism: every scheduling decision an engine makes is a function
+// of (now, seq, heap contents) — a reset engine replays any event
+// sequence bit-identically to a fresh one, which is what lets shards
+// reuse engines across arrays without perturbing results.
+func (e *Engine) Reset() {
+	for i := range e.events {
+		if c := e.events[i].call; c != nil {
+			e.releaseCall(c)
+		}
+		e.events[i] = event{}
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+}
+
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 

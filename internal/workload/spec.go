@@ -402,10 +402,34 @@ func (s Spec) clientProfile(i int) (Profile, error) {
 		if len(c.Arrival.Phases) == 0 {
 			return Profile{}, fmt.Errorf("workload spec %q: client %q: diurnal arrival needs phases", s.Name, c.Name)
 		}
-		for _, ph := range c.Arrival.Phases {
-			p.Schedule = append(p.Schedule, RatePhase{Start: secs(ph.StartS / ts), Rate: ph.Rate})
-		}
+		// Scale the cycle as one unit: round the period once, then place
+		// each boundary at the same fraction of the scaled period it held
+		// in the unscaled cycle. Rounding every boundary independently
+		// (secs(ph.StartS/ts)) drifts boundaries a nanosecond against the
+		// period at non-divisor scales, so a phase silently gains or loses
+		// arrivals relative to the 24-hour shape it is supposed to
+		// compress. A zero period means one cycle spans the run, so the
+		// scaled duration is the reference instead.
 		p.SchedulePeriod = secs(c.Arrival.PeriodS / ts)
+		refScaled, refRaw := float64(p.SchedulePeriod), c.Arrival.PeriodS
+		if p.SchedulePeriod == 0 {
+			refScaled, refRaw = float64(p.Duration), s.DurationS
+		}
+		for j, ph := range c.Arrival.Phases {
+			at := secs(ph.StartS / ts)
+			if refRaw > 0 {
+				at = sim.Time(math.Round(refScaled * ph.StartS / refRaw))
+			}
+			// Nanosecond clamps so legal specs stay legal after scaling:
+			// starts must strictly increase and stay inside the period.
+			if j > 0 && at <= p.Schedule[j-1].Start {
+				at = p.Schedule[j-1].Start + 1
+			}
+			if lim := sim.Time(refScaled); lim > 0 && at >= lim && ph.StartS < refRaw {
+				at = lim - 1
+			}
+			p.Schedule = append(p.Schedule, RatePhase{Start: at, Rate: ph.Rate})
+		}
 	default:
 		return Profile{}, fmt.Errorf("workload spec %q: client %q: unknown arrival process %q (want poisson, bursty, or diurnal)",
 			s.Name, c.Name, c.Arrival.Process)

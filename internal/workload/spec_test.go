@@ -288,3 +288,111 @@ func TestSortRecordsFallback(t *testing.T) {
 		}
 	}
 }
+
+// TestDiurnalBoundaryScaling is the deterministic regression for the
+// phase-boundary rounding bug: compiling a 24-hour diurnal cycle at a
+// non-divisor time scale must place every scaled boundary at the same
+// fraction of the scaled period it held unscaled. Rounding boundaries
+// independently of the period (the old secs(StartS/ts)) puts the 19h
+// boundary at 9771428571429 ns while 19/24 of the rounded period is
+// 9771428571428 ns — a nanosecond of drift that shifts arrivals across
+// the phase edge.
+func TestDiurnalBoundaryScaling(t *testing.T) {
+	sp := Spec{
+		Name: "bound", Disks: 4, DurationS: 86400, TimeScale: 7, Seed: 1,
+		Clients: []ClientSpec{{
+			Name: "d", Requests: 86400,
+			Arrival: ArrivalSpec{Process: "diurnal", PeriodS: 86400, Phases: []PhaseSpec{
+				{StartS: 0, Rate: 0.2}, {StartS: 25200, Rate: 1.0},
+				{StartS: 68400, Rate: 0.5}, {StartS: 79200, Rate: 0.1},
+			}},
+		}},
+	}
+	sp.fill()
+	p, err := sp.clientProfile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	period := p.SchedulePeriod
+	if period != secs(86400.0/7) {
+		t.Fatalf("scaled period %d", period)
+	}
+	for k, ph := range sp.Clients[0].Arrival.Phases {
+		want := sim.Time(math.Round(float64(period) * ph.StartS / 86400))
+		if p.Schedule[k].Start != want {
+			t.Errorf("phase %d (start %gs): scaled boundary %d ns, want %d (= %g/86400 of the %d ns period)",
+				k, ph.StartS, p.Schedule[k].Start, want, ph.StartS, period)
+		}
+	}
+	// Pin the drifting value explicitly so the case survives refactors of
+	// the want-computation above.
+	if got := p.Schedule[2].Start; got != 9771428571428 {
+		t.Errorf("19h boundary at ts=7 = %d ns, want 9771428571428", got)
+	}
+}
+
+// TestTimeScaleAwkwardInvariance compresses the same 24-hour diurnal
+// shape at the awkward (non-divisor) scales 7 and 96 and checks each
+// phase carries the same share of the load: the shape, not just the
+// total, must survive compression.
+func TestTimeScaleAwkwardInvariance(t *testing.T) {
+	base := Spec{
+		Name: "awk", Disks: 8, DurationS: 86400, Seed: 11,
+		Clients: []ClientSpec{{
+			Name: "d", Requests: 96000, WriteFraction: 0.3,
+			Arrival: ArrivalSpec{Process: "diurnal", PeriodS: 86400, Phases: []PhaseSpec{
+				{StartS: 0, Rate: 0.1}, {StartS: 25200, Rate: 1.0},
+				{StartS: 68400, Rate: 0.5}, {StartS: 79200, Rate: 0.05},
+			}},
+		}},
+	}
+	bounds := []float64{0, 25200, 68400, 79200}
+	shares := func(ts float64) ([]float64, int) {
+		sp := base
+		sp.TimeScale = ts
+		tr, err := sp.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dur := float64(secs(sp.DurationS / ts))
+		counts := make([]int, len(bounds))
+		for _, r := range tr.Records {
+			// Map the scaled arrival back to its unscaled second and bin
+			// it by the unscaled phase edges.
+			sec := float64(r.At) / dur * 86400
+			k := 0
+			for j := len(bounds) - 1; j > 0; j-- {
+				if sec >= bounds[j] {
+					k = j
+					break
+				}
+			}
+			counts[k]++
+		}
+		out := make([]float64, len(bounds))
+		for k, c := range counts {
+			out[k] = float64(c) / float64(len(tr.Records))
+		}
+		return out, len(tr.Records)
+	}
+	a, na := shares(7)
+	b, nb := shares(96)
+	if want := int(math.Round(96000.0 / 7)); na != want {
+		t.Errorf("ts=7 generated %d records, want %d", na, want)
+	}
+	if want := 96000 / 96; nb != want {
+		t.Errorf("ts=96 generated %d records, want %d", nb, want)
+	}
+	for k := range bounds {
+		if math.Abs(a[k]-b[k]) > 0.05 {
+			t.Errorf("phase %d load share %.3f at ts=7 vs %.3f at ts=96", k, a[k], b[k])
+		}
+	}
+	// The shape must actually be diurnal: the busy phase dominates.
+	if a[1] < 0.4 {
+		t.Errorf("busy-phase share %.3f, want the 1.0-rate phase to dominate", a[1])
+	}
+}
